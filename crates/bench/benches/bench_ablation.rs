@@ -1,0 +1,54 @@
+//! Ablations for the design choices DESIGN.md calls out: download
+//! de-duplication, the downgrade pass, and the server-selection strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snsp_bench::{bench_instance, run_pipeline_with};
+use snsp_core::heuristics::{
+    PipelineOptions, PlacementOptions, ServerStrategy, SubtreeBottomUp,
+};
+use snsp_gen::ScenarioParams;
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let inst = bench_instance(&ScenarioParams::paper(60, 1.5), 7);
+
+    let variants: [(&str, PipelineOptions); 4] = [
+        ("baseline", PipelineOptions::default()),
+        (
+            "no_dedup",
+            PipelineOptions {
+                placement: PlacementOptions { dedup_downloads: false },
+                ..Default::default()
+            },
+        ),
+        (
+            "no_downgrade",
+            PipelineOptions { downgrade: false, ..Default::default() },
+        ),
+        (
+            "random_servers",
+            PipelineOptions {
+                server_strategy: Some(ServerStrategy::Random),
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, opts) in &variants {
+        group.bench_with_input(BenchmarkId::new("subtree", name), name, |b, _| {
+            b.iter(|| run_pipeline_with(&SubtreeBottomUp, &inst, 7, opts))
+        });
+        // Also report the cost effect once per variant, outside the timer.
+        if let Some(sol) = run_pipeline_with(&SubtreeBottomUp, &inst, 7, opts) {
+            eprintln!("[ablation] {name}: cost ${} procs {}", sol.cost, sol.mapping.proc_count());
+        } else {
+            eprintln!("[ablation] {name}: infeasible");
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

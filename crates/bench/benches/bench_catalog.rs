@@ -1,0 +1,36 @@
+//! Table 1 micro-benchmarks: catalog scans used in every heuristic's inner
+//! loop (cheapest-fitting lookup) and the constraint checker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snsp_bench::{bench_instance, run_pipeline};
+use snsp_core::heuristics::SubtreeBottomUp;
+use snsp_core::platform::Catalog;
+use snsp_gen::ScenarioParams;
+
+fn catalog(c: &mut Criterion) {
+    let cat = Catalog::paper();
+    c.bench_function("catalog_cheapest_fitting", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for s in 0..50 {
+                let speed = s as f64;
+                if let Some(k) = cat.cheapest_fitting(speed, speed * 20.0) {
+                    acc += k;
+                }
+            }
+            acc
+        })
+    });
+
+    let inst = bench_instance(&ScenarioParams::paper(60, 0.9), 6);
+    let sol = run_pipeline(&SubtreeBottomUp, &inst, 6).expect("feasible");
+    c.bench_function("constraint_check_n60", |b| {
+        b.iter(|| snsp_core::check(&inst, &sol.mapping).len())
+    });
+    c.bench_function("max_throughput_n60", |b| {
+        b.iter(|| snsp_core::max_throughput(&inst, &sol.mapping))
+    });
+}
+
+criterion_group!(benches, catalog);
+criterion_main!(benches);

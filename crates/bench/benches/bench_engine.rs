@@ -1,0 +1,25 @@
+//! Discrete-event engine throughput: executing a mapped tree end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snsp_bench::{bench_instance, run_pipeline};
+use snsp_core::heuristics::SubtreeBottomUp;
+use snsp_engine::{simulate, SimConfig};
+use snsp_gen::ScenarioParams;
+
+fn engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &n in &[20usize, 60] {
+        let inst = bench_instance(&ScenarioParams::paper(n, 0.9), 5);
+        let sol = run_pipeline(&SubtreeBottomUp, &inst, 5).expect("feasible");
+        group.bench_with_input(BenchmarkId::new("simulate", n), &n, |b, _| {
+            b.iter(|| simulate(&inst, &sol.mapping, &SimConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 2 workload (cost vs N, high frequency, small objects): times every
+//! heuristic's full pipeline at representative tree sizes for α ∈ {0.9, 1.7}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snsp_bench::{bench_instance, run_pipeline};
+use snsp_core::heuristics::all_heuristics;
+use snsp_gen::ScenarioParams;
+
+fn fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_pipeline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &alpha in &[0.9, 1.7] {
+        for &n in &[20usize, 60, 140] {
+            let inst = bench_instance(&ScenarioParams::paper(n, alpha), 0);
+            for h in all_heuristics() {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}_a{alpha}", h.name()), n),
+                    &n,
+                    |b, _| b.iter(|| run_pipeline(h.as_ref(), &inst, 0)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

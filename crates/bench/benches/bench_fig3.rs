@@ -1,0 +1,31 @@
+//! Fig. 3 workload (cost vs α at N = 60): times the pipeline across the α
+//! sweep, including the capacity-constrained region near the thresholds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snsp_bench::{bench_instance, run_pipeline};
+use snsp_core::heuristics::{CompGreedy, SubtreeBottomUp};
+use snsp_gen::ScenarioParams;
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_alpha_sweep");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &alpha in &[0.5, 1.0, 1.5, 1.7, 1.8] {
+        let inst = bench_instance(&ScenarioParams::paper(60, alpha), 0);
+        group.bench_with_input(
+            BenchmarkId::new("subtree", format!("a{alpha}")),
+            &alpha,
+            |b, _| b.iter(|| run_pipeline(&SubtreeBottomUp, &inst, 0)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("comp_greedy", format!("a{alpha}")),
+            &alpha,
+            |b, _| b.iter(|| run_pipeline(&CompGreedy, &inst, 0)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Large-object workload (450–530 MB): the server-bandwidth-constrained
+//! regime where feasibility collapses around N ≈ 35–45.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snsp_bench::{bench_instance, run_pipeline};
+use snsp_core::heuristics::all_heuristics;
+use snsp_gen::{ScenarioParams, SizeRange};
+
+fn large(c: &mut Criterion) {
+    let mut group = c.benchmark_group("large_objects");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &n in &[5usize, 15, 25] {
+        let params = ScenarioParams::paper(n, 0.9).with_sizes(SizeRange::LARGE);
+        let inst = bench_instance(&params, 1);
+        for h in all_heuristics() {
+            group.bench_with_input(BenchmarkId::new(h.name(), n), &n, |b, _| {
+                b.iter(|| run_pipeline(h.as_ref(), &inst, 1))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, large);
+criterion_main!(benches);

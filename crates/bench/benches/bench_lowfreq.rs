@@ -1,0 +1,28 @@
+//! Low-frequency workload (downloads every 50 s): same mappings as the
+//! high-frequency runs but with lighter NIC pressure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snsp_bench::{bench_instance, run_pipeline};
+use snsp_core::heuristics::{CommGreedy, SubtreeBottomUp};
+use snsp_gen::{Frequency, ScenarioParams};
+
+fn lowfreq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("low_frequency");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &n in &[40usize, 100] {
+        let params = ScenarioParams::paper(n, 0.9).with_freq(Frequency::LOW);
+        let inst = bench_instance(&params, 2);
+        group.bench_with_input(BenchmarkId::new("subtree", n), &n, |b, _| {
+            b.iter(|| run_pipeline(&SubtreeBottomUp, &inst, 2))
+        });
+        group.bench_with_input(BenchmarkId::new("comm_greedy", n), &n, |b, _| {
+            b.iter(|| run_pipeline(&CommGreedy, &inst, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lowfreq);
+criterion_main!(benches);

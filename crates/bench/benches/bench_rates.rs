@@ -1,0 +1,24 @@
+//! Download-rate sweep: frequencies from 1/2 s to 1/50 s at N = 60.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snsp_bench::{bench_instance, run_pipeline};
+use snsp_core::heuristics::SubtreeBottomUp;
+use snsp_gen::{Frequency, ScenarioParams};
+
+fn rates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rate_sweep");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &(label, f) in &[("1_2", 0.5), ("1_10", 0.1), ("1_50", 0.02)] {
+        let params = ScenarioParams::paper(60, 0.9).with_freq(Frequency(f));
+        let inst = bench_instance(&params, 3);
+        group.bench_with_input(BenchmarkId::new("subtree", label), &f, |b, _| {
+            b.iter(|| run_pipeline(&SubtreeBottomUp, &inst, 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rates);
+criterion_main!(benches);

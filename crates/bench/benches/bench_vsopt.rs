@@ -1,0 +1,30 @@
+//! Heuristics-vs-optimal workload: the exact branch-and-bound on small
+//! CONSTR-HOM instances (the regime the paper solved with CPLEX).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snsp_bench::{bench_instance, run_pipeline};
+use snsp_core::heuristics::SubtreeBottomUp;
+use snsp_core::platform::Catalog;
+use snsp_gen::ScenarioParams;
+use snsp_solver::{solve_exact, BranchBoundConfig};
+
+fn vsopt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vs_optimal");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &n in &[6usize, 10, 14] {
+        let mut inst = bench_instance(&ScenarioParams::paper(n, 1.0), 4);
+        inst.platform.catalog = Catalog::homogeneous(0, 0);
+        group.bench_with_input(BenchmarkId::new("branch_bound", n), &n, |b, _| {
+            b.iter(|| solve_exact(&inst, &BranchBoundConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("subtree", n), &n, |b, _| {
+            b.iter(|| run_pipeline(&SubtreeBottomUp, &inst, 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, vsopt);
+criterion_main!(benches);

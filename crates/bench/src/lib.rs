@@ -1,0 +1,51 @@
+//! Shared helpers for the Criterion benchmarks.
+//!
+//! Each bench target corresponds to one paper artifact (see DESIGN.md's
+//! experiment index): it times the full placement pipeline on exactly the
+//! workload that regenerates that artifact. The *values* of the artifact
+//! are produced by `snsp-experiments`; the benches measure how fast the
+//! polynomial heuristics (the paper's complexity claim) and the exact
+//! solver run on those inputs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snsp_core::heuristics::{solve, Heuristic, PipelineOptions, Solution};
+use snsp_core::instance::Instance;
+use snsp_gen::{generate, ScenarioParams, TreeShape};
+
+/// Builds the standard instance for a bench point.
+pub fn bench_instance(params: &ScenarioParams, seed: u64) -> Instance {
+    generate(params, TreeShape::Random, seed)
+}
+
+/// Runs one heuristic end-to-end (placement + servers + downgrade +
+/// verification); returns the solution when feasible.
+pub fn run_pipeline(h: &dyn Heuristic, inst: &Instance, seed: u64) -> Option<Solution> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    solve(h, inst, &mut rng, &PipelineOptions::default()).ok()
+}
+
+/// Runs one heuristic with explicit pipeline options.
+pub fn run_pipeline_with(
+    h: &dyn Heuristic,
+    inst: &Instance,
+    seed: u64,
+    opts: &PipelineOptions,
+) -> Option<Solution> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    solve(h, inst, &mut rng, opts).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snsp_core::heuristics::SubtreeBottomUp;
+
+    #[test]
+    fn helpers_produce_feasible_solutions() {
+        let inst = bench_instance(&ScenarioParams::paper(15, 0.9), 0);
+        let sol = run_pipeline(&SubtreeBottomUp, &inst, 0).unwrap();
+        assert!(snsp_core::is_feasible(&inst, &sol.mapping));
+    }
+}

@@ -1,0 +1,201 @@
+//! The polynomial placement heuristics of paper §4 and the full solution
+//! pipeline.
+//!
+//! Every heuristic implements [`Heuristic::place`], producing a tentative
+//! operator→processor grouping. [`solve`] then runs the complete paper
+//! pipeline: placement → server selection (§4.2) → downgrade → final
+//! constraint check, yielding a verified [`Solution`].
+
+pub mod comm_greedy;
+pub mod common;
+pub mod comp_greedy;
+pub mod downgrade;
+pub mod object_availability;
+pub mod object_grouping;
+pub mod random;
+pub mod server_selection;
+pub mod subtree;
+
+#[cfg(test)]
+pub(crate) mod test_support;
+
+use rand::RngCore;
+
+pub use comm_greedy::CommGreedy;
+pub use common::{
+    Demand, GroupBuilder, HeuristicError, KindPolicy, PlacedGroup, PlacedOps,
+    PlacementOptions,
+};
+pub use comp_greedy::CompGreedy;
+pub use downgrade::downgrade;
+pub use object_availability::ObjectAvailability;
+pub use object_grouping::ObjectGrouping;
+pub use random::Random;
+pub use server_selection::{select_servers, ServerStrategy};
+pub use subtree::SubtreeBottomUp;
+
+use crate::constraints;
+use crate::instance::Instance;
+use crate::mapping::Mapping;
+
+/// An operator-placement heuristic (paper §4.1).
+pub trait Heuristic: Sync {
+    /// Display name matching the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Builds a tentative grouping of operators onto processor kinds.
+    fn place(
+        &self,
+        inst: &Instance,
+        rng: &mut dyn RngCore,
+        opts: &PlacementOptions,
+    ) -> Result<PlacedOps, HeuristicError>;
+
+    /// Whether the pipeline should pair this heuristic with random server
+    /// selection (only the Random baseline does, per §4.2).
+    fn prefers_random_servers(&self) -> bool {
+        false
+    }
+}
+
+/// Knobs for the full pipeline (placement + server selection + downgrade).
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Placement-time accounting options.
+    pub placement: PlacementOptions,
+    /// Server-selection strategy; `None` uses the heuristic's preference.
+    pub server_strategy: Option<ServerStrategy>,
+    /// Whether to run the downgrade pass (on by default; disable for the
+    /// ablation bench).
+    pub downgrade: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            placement: PlacementOptions::default(),
+            server_strategy: None,
+            downgrade: true,
+        }
+    }
+}
+
+/// A verified solution: the mapping passed the full constraint check.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The feasible mapping.
+    pub mapping: Mapping,
+    /// Its platform cost in dollars (the objective).
+    pub cost: u64,
+    /// Name of the producing heuristic.
+    pub heuristic: &'static str,
+}
+
+/// Runs the complete paper pipeline for one heuristic.
+pub fn solve(
+    heuristic: &dyn Heuristic,
+    inst: &Instance,
+    rng: &mut dyn RngCore,
+    opts: &PipelineOptions,
+) -> Result<Solution, HeuristicError> {
+    let mut placed = heuristic.place(inst, rng, &opts.placement)?;
+    let strategy = opts.server_strategy.unwrap_or(if heuristic.prefers_random_servers() {
+        ServerStrategy::Random
+    } else {
+        ServerStrategy::ThreeLoop
+    });
+    let downloads = select_servers(inst, &placed, strategy, rng)?;
+    if opts.downgrade {
+        downgrade::downgrade(inst, &mut placed, &downloads);
+    }
+    let mapping = placed.into_mapping(downloads);
+    let violations = constraints::check(inst, &mapping);
+    if !violations.is_empty() {
+        return Err(HeuristicError::FinalCheck(violations));
+    }
+    let cost = mapping.cost(inst);
+    Ok(Solution { mapping, cost, heuristic: heuristic.name() })
+}
+
+/// All six paper heuristics, in the paper's presentation order.
+pub fn all_heuristics() -> Vec<Box<dyn Heuristic>> {
+    vec![
+        Box::new(Random),
+        Box::new(CompGreedy),
+        Box::new(CommGreedy),
+        Box::new(SubtreeBottomUp),
+        Box::new(ObjectGrouping),
+        Box::new(ObjectAvailability),
+    ]
+}
+
+/// Looks a heuristic up by its paper name (case-insensitive).
+pub fn heuristic_by_name(name: &str) -> Option<Box<dyn Heuristic>> {
+    all_heuristics()
+        .into_iter()
+        .find(|h| h.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_heuristics_produce_feasible_solutions_on_light_instances() {
+        let inst = test_support::paper_like_instance(20, 0.9, 61);
+        for h in all_heuristics() {
+            let mut rng = StdRng::seed_from_u64(7);
+            let sol = solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", h.name()));
+            assert!(constraints::is_feasible(&inst, &sol.mapping));
+            assert!(sol.cost > 0);
+            assert_eq!(sol.heuristic, h.name());
+        }
+    }
+
+    #[test]
+    fn downgrade_reduces_or_preserves_cost() {
+        let inst = test_support::paper_like_instance(25, 0.9, 67);
+        for h in all_heuristics() {
+            let mut rng = StdRng::seed_from_u64(3);
+            let with = solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default());
+            let mut rng = StdRng::seed_from_u64(3);
+            let without = solve(
+                h.as_ref(),
+                &inst,
+                &mut rng,
+                &PipelineOptions { downgrade: false, ..Default::default() },
+            );
+            if let (Ok(a), Ok(b)) = (with, without) {
+                assert!(
+                    a.cost <= b.cost,
+                    "{}: downgraded {} > raw {}",
+                    h.name(),
+                    a.cost,
+                    b.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_lookup_by_name() {
+        assert!(heuristic_by_name("subtree-bottom-up").is_some());
+        assert!(heuristic_by_name("Comp-Greedy").is_some());
+        assert!(heuristic_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn infeasible_alpha_fails_cleanly() {
+        // α far past the threshold: the root operator alone outgrows every
+        // CPU, so every heuristic must fail with NoFeasibleProcessor.
+        let inst = test_support::paper_like_instance(60, 2.5, 71);
+        for h in all_heuristics() {
+            let mut rng = StdRng::seed_from_u64(1);
+            let res = solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default());
+            assert!(res.is_err(), "{} should fail at alpha=2.5", h.name());
+        }
+    }
+}

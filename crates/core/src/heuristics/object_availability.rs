@@ -1,0 +1,126 @@
+//! The `Object-Availability` heuristic (paper §4.1): schedule scarce
+//! objects first.
+//!
+//! For each object type `k`, `av_k` is the number of servers holding it.
+//! Object types are processed by increasing `av_k` (scarcest first); for
+//! each type the heuristic packs as many of the al-operators downloading
+//! that type as possible onto most-expensive processors. Remaining internal
+//! operators are placed like Comp-Greedy (non-increasing `w_i`).
+
+use rand::RngCore;
+
+use super::common::{GroupBuilder, HeuristicError, KindPolicy, PlacedOps, PlacementOptions};
+use super::comp_greedy::{by_decreasing_work, pack_group};
+use super::Heuristic;
+use crate::ids::{OpId, TypeId};
+use crate::instance::Instance;
+
+/// Scarcity-driven grouping of al-operators.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObjectAvailability;
+
+impl Heuristic for ObjectAvailability {
+    fn name(&self) -> &'static str {
+        "Object-Availability"
+    }
+
+    fn place(
+        &self,
+        inst: &Instance,
+        _rng: &mut dyn RngCore,
+        opts: &PlacementOptions,
+    ) -> Result<PlacedOps, HeuristicError> {
+        // Object types used by the tree, scarcest first.
+        let mut types: Vec<TypeId> = inst.tree.used_types();
+        types.sort_by_key(|&t| (inst.platform.placement.availability(t), t));
+
+        let mut builder = GroupBuilder::new(inst, *opts);
+        for ty in types {
+            loop {
+                let pending: Vec<OpId> = inst
+                    .tree
+                    .al_operators()
+                    .filter(|&op| {
+                        builder.is_unassigned(op) && inst.types_needed_by(op).contains(&ty)
+                    })
+                    .collect();
+                let Some((&seed, rest)) = pending.split_first() else {
+                    break;
+                };
+                let g = builder.place_with_grouping(seed, KindPolicy::MostExpensive)?;
+                for &op in rest {
+                    if !builder.is_unassigned(op) {
+                        continue;
+                    }
+                    let mut candidate = builder.group_ops(g).to_vec();
+                    candidate.push(op);
+                    let d = builder.demand_of(&candidate);
+                    if builder.fits(&d, builder.group_kind(g)) {
+                        builder.add_to_group(g, op);
+                    }
+                }
+            }
+        }
+
+        // Remaining internal operators: Comp-Greedy style.
+        let work_order = by_decreasing_work(inst);
+        loop {
+            let Some(&seed) = work_order.iter().find(|&&op| builder.is_unassigned(op))
+            else {
+                break;
+            };
+            let g = builder.place_with_grouping(seed, KindPolicy::MostExpensive)?;
+            pack_group(&mut builder, g, &work_order);
+        }
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::test_support::paper_like_instance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn places_every_operator() {
+        let inst = paper_like_instance(20, 0.9, 29);
+        let mut rng = StdRng::seed_from_u64(0);
+        let placed = ObjectAvailability
+            .place(&inst, &mut rng, &PlacementOptions::default())
+            .unwrap();
+        let total: usize = placed.groups.iter().map(|g| g.ops.len()).sum();
+        assert_eq!(total, inst.tree.len());
+    }
+
+    #[test]
+    fn al_operators_of_the_scarcest_type_share_processors() {
+        let inst = paper_like_instance(40, 0.9, 29);
+        let mut rng = StdRng::seed_from_u64(0);
+        let placed = ObjectAvailability
+            .place(&inst, &mut rng, &PlacementOptions::default())
+            .unwrap();
+        // At α = 0.9 capacity is loose: the al-operators needing the
+        // scarcest used type should end up on few processors.
+        let mut types = inst.tree.used_types();
+        types.sort_by_key(|&t| inst.platform.placement.availability(t));
+        let scarce = types[0];
+        let assign = placed.assignment();
+        let procs: std::collections::BTreeSet<_> = inst
+            .tree
+            .al_operators()
+            .filter(|&op| inst.types_needed_by(op).contains(&scarce))
+            .map(|op| assign[op.index()])
+            .collect();
+        let count = inst
+            .tree
+            .al_operators()
+            .filter(|&op| inst.types_needed_by(op).contains(&scarce))
+            .count();
+        assert!(procs.len() <= count, "sanity");
+        if count >= 2 {
+            assert!(procs.len() < count, "scarce-type al-operators should group");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The `Object-Grouping` heuristic (paper §4.1): co-locate operators that
+//! share popular basic objects.
+//!
+//! The *popularity* of a basic object is the number of operators that need
+//! it. Al-operators are sorted by non-increasing total popularity of their
+//! objects; the heuristic repeatedly opens a most-expensive processor,
+//! seeds it with the most popular remaining al-operator, packs in other
+//! al-operators sharing at least one of the processor's object types
+//! (popular first), then as many non-al operators as possible.
+
+use std::collections::BTreeSet;
+
+use rand::RngCore;
+
+use super::common::{GroupBuilder, HeuristicError, KindPolicy, PlacedOps, PlacementOptions};
+use super::comp_greedy::{by_decreasing_work, pack_group};
+use super::Heuristic;
+use crate::ids::{OpId, TypeId};
+use crate::instance::Instance;
+
+/// Popularity-driven grouping of al-operators.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObjectGrouping;
+
+/// `popularity[k]` = number of operators needing object type `k`.
+pub(crate) fn popularities(inst: &Instance) -> Vec<usize> {
+    let mut pop = vec![0usize; inst.objects.len()];
+    for op in inst.tree.ops() {
+        for ty in inst.types_needed_by(op) {
+            pop[ty.index()] += 1;
+        }
+    }
+    pop
+}
+
+impl Heuristic for ObjectGrouping {
+    fn name(&self) -> &'static str {
+        "Object-Grouping"
+    }
+
+    fn place(
+        &self,
+        inst: &Instance,
+        _rng: &mut dyn RngCore,
+        opts: &PlacementOptions,
+    ) -> Result<PlacedOps, HeuristicError> {
+        let pop = popularities(inst);
+        let op_popularity = |op: OpId| -> usize {
+            inst.types_needed_by(op).iter().map(|t| pop[t.index()]).sum()
+        };
+
+        let mut al_ops: Vec<OpId> = inst.tree.al_operators().collect();
+        al_ops.sort_by(|&a, &b| op_popularity(b).cmp(&op_popularity(a)).then(a.cmp(&b)));
+        let work_order = by_decreasing_work(inst);
+
+        let mut builder = GroupBuilder::new(inst, *opts);
+        loop {
+            let Some(&seed) = al_ops.iter().find(|&&op| builder.is_unassigned(op)) else {
+                break;
+            };
+            let g = builder.place_with_grouping(seed, KindPolicy::MostExpensive)?;
+
+            // Pack al-operators sharing one of the group's object types,
+            // most popular first; refresh the type set as the group grows.
+            loop {
+                let group_types: BTreeSet<TypeId> = builder
+                    .group_ops(g)
+                    .iter()
+                    .flat_map(|&op| inst.types_needed_by(op))
+                    .collect();
+                let next = al_ops.iter().copied().find(|&op| {
+                    builder.is_unassigned(op)
+                        && inst
+                            .types_needed_by(op)
+                            .iter()
+                            .any(|t| group_types.contains(t))
+                        && {
+                            let mut candidate = builder.group_ops(g).to_vec();
+                            candidate.push(op);
+                            let d = builder.demand_of(&candidate);
+                            builder.fits(&d, builder.group_kind(g))
+                        }
+                });
+                match next {
+                    Some(op) => builder.add_to_group(g, op),
+                    None => break,
+                }
+            }
+
+            // Then as many non-al operators as possible (heaviest first).
+            pack_group(&mut builder, g, &work_order);
+        }
+
+        // Any internal operators still unassigned get Comp-Greedy
+        // treatment: new most-expensive processor + packing.
+        loop {
+            let Some(&seed) = work_order.iter().find(|&&op| builder.is_unassigned(op))
+            else {
+                break;
+            };
+            let g = builder.place_with_grouping(seed, KindPolicy::MostExpensive)?;
+            pack_group(&mut builder, g, &work_order);
+        }
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::test_support::paper_like_instance;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn popularity_counts_operators_not_leaf_slots() {
+        let inst = paper_like_instance(15, 0.9, 23);
+        let pop = popularities(&inst);
+        let by_hand: usize = inst
+            .tree
+            .ops()
+            .filter(|&op| inst.types_needed_by(op).contains(&TypeId(0)))
+            .count();
+        assert_eq!(pop[0], by_hand);
+    }
+
+    #[test]
+    fn places_every_operator() {
+        let inst = paper_like_instance(20, 0.9, 23);
+        let mut rng = StdRng::seed_from_u64(0);
+        let placed = ObjectGrouping
+            .place(&inst, &mut rng, &PlacementOptions::default())
+            .unwrap();
+        let total: usize = placed.groups.iter().map(|g| g.ops.len()).sum();
+        assert_eq!(total, inst.tree.len());
+    }
+
+    #[test]
+    fn groups_contain_sharing_al_operators() {
+        let inst = paper_like_instance(30, 0.9, 23);
+        let mut rng = StdRng::seed_from_u64(0);
+        let placed = ObjectGrouping
+            .place(&inst, &mut rng, &PlacementOptions::default())
+            .unwrap();
+        // The first group must hold more than one al-operator whenever two
+        // al-operators share an object type (overwhelmingly likely with 15
+        // types and 30 operators) and capacity allows.
+        let max_group = placed.groups.iter().map(|g| g.ops.len()).max().unwrap();
+        assert!(max_group > 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! Server selection (paper §4.2): decide which server each processor
+//! downloads each basic object from.
+//!
+//! The sophisticated strategy runs three passes:
+//!
+//! 1. objects held by a **single** server are pinned to it (failure here is
+//!    fatal: there is no alternative);
+//! 2. servers that hold **only one** object type absorb as many downloads
+//!    of that type as their capacity allows;
+//! 3. remaining downloads are handled by decreasing `nbP/nbS` (processors
+//!    still needing the object over servers still able to provide it);
+//!    candidate servers are ranked by decreasing
+//!    `min(remaining NIC, remaining link bandwidth)`.
+//!
+//! The Random placement heuristic instead picks a random capable holder for
+//! every download.
+
+use std::collections::BTreeMap;
+
+use rand::RngCore;
+
+use super::common::{HeuristicError, PlacedOps};
+use crate::ids::{ProcId, ServerId, TypeId};
+use crate::instance::Instance;
+use crate::mapping::Download;
+
+/// Which server-selection strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerStrategy {
+    /// The three-pass heuristic above (default for all smart heuristics).
+    ThreeLoop,
+    /// Uniformly random capable holder (the paper pairs this with the
+    /// Random placement heuristic).
+    Random,
+}
+
+/// Tracks remaining server NIC and per-link capacity during selection.
+struct CapacityTracker<'a> {
+    inst: &'a Instance,
+    server_left: Vec<f64>,
+    link_left: BTreeMap<(ServerId, ProcId), f64>,
+}
+
+impl<'a> CapacityTracker<'a> {
+    fn new(inst: &'a Instance) -> Self {
+        CapacityTracker {
+            inst,
+            server_left: inst
+                .platform
+                .servers
+                .iter()
+                .map(|s| s.nic_bandwidth)
+                .collect(),
+            link_left: BTreeMap::new(),
+        }
+    }
+
+    fn link_left(&self, s: ServerId, u: ProcId) -> f64 {
+        *self
+            .link_left
+            .get(&(s, u))
+            .unwrap_or(&self.inst.platform.server(s).link_bandwidth)
+    }
+
+    /// Usable headroom for one more download from `s` to `u`.
+    fn headroom(&self, s: ServerId, u: ProcId) -> f64 {
+        self.server_left[s.index()].min(self.link_left(s, u))
+    }
+
+    fn can_serve(&self, s: ServerId, u: ProcId, rate: f64) -> bool {
+        self.headroom(s, u) + 1e-9 >= rate
+    }
+
+    fn commit(&mut self, s: ServerId, u: ProcId, rate: f64) {
+        self.server_left[s.index()] -= rate;
+        let left = self.link_left(s, u) - rate;
+        self.link_left.insert((s, u), left);
+    }
+}
+
+/// One pending download request.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    proc: ProcId,
+    ty: TypeId,
+    rate: f64,
+}
+
+/// Enumerates every `(processor, object type)` download a placement needs.
+fn requests(inst: &Instance, placed: &PlacedOps) -> Vec<Request> {
+    let mut out = Vec::new();
+    for (g, group) in placed.groups.iter().enumerate() {
+        let mut types: Vec<TypeId> = group
+            .ops
+            .iter()
+            .flat_map(|&op| inst.tree.leaf_types(op).iter().copied())
+            .collect();
+        types.sort_unstable();
+        types.dedup();
+        for ty in types {
+            out.push(Request {
+                proc: ProcId::from(g),
+                ty,
+                rate: inst.object_rate(ty),
+            });
+        }
+    }
+    out
+}
+
+/// Runs the chosen strategy; returns one [`Download`] per request.
+pub fn select_servers(
+    inst: &Instance,
+    placed: &PlacedOps,
+    strategy: ServerStrategy,
+    rng: &mut dyn RngCore,
+) -> Result<Vec<Download>, HeuristicError> {
+    match strategy {
+        ServerStrategy::ThreeLoop => three_loop(inst, placed),
+        ServerStrategy::Random => random(inst, placed, rng),
+    }
+}
+
+fn random(
+    inst: &Instance,
+    placed: &PlacedOps,
+    rng: &mut dyn RngCore,
+) -> Result<Vec<Download>, HeuristicError> {
+    use rand::seq::SliceRandom;
+    let mut tracker = CapacityTracker::new(inst);
+    let mut pending = requests(inst, placed);
+    pending.shuffle(rng);
+    let mut downloads = Vec::with_capacity(pending.len());
+    for req in pending {
+        let holders: Vec<ServerId> = inst
+            .platform
+            .placement
+            .holders(req.ty)
+            .iter()
+            .copied()
+            .filter(|&s| tracker.can_serve(s, req.proc, req.rate))
+            .collect();
+        let Some(&server) = holders.choose(rng) else {
+            return Err(HeuristicError::ServerSelectionFailed {
+                proc: req.proc,
+                ty: req.ty,
+            });
+        };
+        tracker.commit(server, req.proc, req.rate);
+        downloads.push(Download { proc: req.proc, ty: req.ty, server });
+    }
+    Ok(downloads)
+}
+
+fn three_loop(inst: &Instance, placed: &PlacedOps) -> Result<Vec<Download>, HeuristicError> {
+    let mut tracker = CapacityTracker::new(inst);
+    let mut pending = requests(inst, placed);
+    let mut downloads = Vec::with_capacity(pending.len());
+
+    let mut assign =
+        |req: Request, server: ServerId, tracker: &mut CapacityTracker<'_>| {
+            tracker.commit(server, req.proc, req.rate);
+            downloads.push(Download { proc: req.proc, ty: req.ty, server });
+        };
+
+    // Pass 1: single-holder objects have no choice.
+    let mut rest = Vec::with_capacity(pending.len());
+    for req in pending {
+        let holders = inst.platform.placement.holders(req.ty);
+        if holders.len() == 1 {
+            let server = holders[0];
+            if !tracker.can_serve(server, req.proc, req.rate) {
+                return Err(HeuristicError::ServerSelectionFailed {
+                    proc: req.proc,
+                    ty: req.ty,
+                });
+            }
+            assign(req, server, &mut tracker);
+        } else {
+            rest.push(req);
+        }
+    }
+    pending = rest;
+
+    // Pass 2: single-type servers absorb what they can.
+    let single_type_servers: Vec<(ServerId, TypeId)> = inst
+        .platform
+        .server_ids()
+        .filter_map(|s| {
+            let types = inst.platform.placement.types_on(s);
+            (types.len() == 1).then(|| (s, types[0]))
+        })
+        .collect();
+    let mut rest = Vec::with_capacity(pending.len());
+    'req: for req in pending {
+        for &(server, ty) in &single_type_servers {
+            if ty == req.ty && tracker.can_serve(server, req.proc, req.rate) {
+                assign(req, server, &mut tracker);
+                continue 'req;
+            }
+        }
+        rest.push(req);
+    }
+    pending = rest;
+
+    // Pass 3: by decreasing nbP/nbS, pick the holder with the largest
+    // min(remaining server NIC, remaining link bandwidth).
+    let mut nb_p: BTreeMap<TypeId, usize> = BTreeMap::new();
+    for req in &pending {
+        *nb_p.entry(req.ty).or_insert(0) += 1;
+    }
+    let nb_s = |ty: TypeId, tracker: &CapacityTracker<'_>| -> usize {
+        inst.platform
+            .placement
+            .holders(ty)
+            .iter()
+            .filter(|&&s| tracker.server_left[s.index()] > 1e-9)
+            .count()
+    };
+    pending.sort_by(|a, b| {
+        let ka = nb_p[&a.ty] as f64 / nb_s(a.ty, &tracker).max(1) as f64;
+        let kb = nb_p[&b.ty] as f64 / nb_s(b.ty, &tracker).max(1) as f64;
+        kb.partial_cmp(&ka)
+            .unwrap()
+            .then(a.ty.cmp(&b.ty))
+            .then(a.proc.cmp(&b.proc))
+    });
+    for req in pending {
+        let best = inst
+            .platform
+            .placement
+            .holders(req.ty)
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                tracker
+                    .headroom(a, req.proc)
+                    .partial_cmp(&tracker.headroom(b, req.proc))
+                    .unwrap()
+            });
+        match best {
+            Some(server) if tracker.can_serve(server, req.proc, req.rate) => {
+                assign(req, server, &mut tracker);
+            }
+            _ => {
+                return Err(HeuristicError::ServerSelectionFailed {
+                    proc: req.proc,
+                    ty: req.ty,
+                })
+            }
+        }
+    }
+    Ok(downloads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::common::{GroupBuilder, PlacementOptions};
+    use crate::heuristics::test_support::paper_like_instance;
+    use crate::ids::OpId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn one_group_placement(inst: &Instance) -> PlacedOps {
+        let mut b = GroupBuilder::new(inst, PlacementOptions::default());
+        let ops: Vec<OpId> = inst.tree.ops().collect();
+        let kind = inst.platform.catalog.most_expensive();
+        b.create_group(ops, kind);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn three_loop_covers_every_needed_type() {
+        let inst = paper_like_instance(20, 0.9, 31);
+        let placed = one_group_placement(&inst);
+        let downloads = three_loop(&inst, &placed).unwrap();
+        let needed = inst.tree.used_types();
+        assert_eq!(downloads.len(), needed.len());
+        for d in &downloads {
+            assert!(inst.platform.placement.is_holder(d.ty, d.server));
+            assert_eq!(d.proc, ProcId(0));
+        }
+    }
+
+    #[test]
+    fn random_selection_also_covers_every_type() {
+        let inst = paper_like_instance(20, 0.9, 31);
+        let placed = one_group_placement(&inst);
+        let mut rng = StdRng::seed_from_u64(5);
+        let downloads = random(&inst, &placed, &mut rng).unwrap();
+        assert_eq!(downloads.len(), inst.tree.used_types().len());
+    }
+
+    #[test]
+    fn single_holder_objects_are_pinned() {
+        let inst = paper_like_instance(20, 0.9, 31);
+        let placed = one_group_placement(&inst);
+        let downloads = three_loop(&inst, &placed).unwrap();
+        for d in &downloads {
+            let holders = inst.platform.placement.holders(d.ty);
+            if holders.len() == 1 {
+                assert_eq!(d.server, holders[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_exhaustion_fails_cleanly() {
+        // Shrink every server NIC below a single download's rate.
+        let mut inst = paper_like_instance(10, 0.9, 31);
+        for s in &mut inst.platform.servers {
+            s.nic_bandwidth = 1e-6;
+        }
+        let placed = one_group_placement(&inst);
+        assert!(matches!(
+            three_loop(&inst, &placed),
+            Err(HeuristicError::ServerSelectionFailed { .. })
+        ));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            random(&inst, &placed, &mut rng),
+            Err(HeuristicError::ServerSelectionFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn loads_respect_tracked_capacities() {
+        // Many single-op groups all needing the same types: the selection
+        // must spread or fail, never silently overload.
+        let inst = paper_like_instance(30, 0.9, 37);
+        let mut b = GroupBuilder::new(&inst, PlacementOptions::default());
+        for op in inst.tree.ops() {
+            let kind = inst.platform.catalog.most_expensive();
+            b.create_group(vec![op], kind);
+        }
+        let placed = b.finish().unwrap();
+        if let Ok(downloads) = three_loop(&inst, &placed) {
+            let mut per_server = vec![0.0; inst.platform.servers.len()];
+            for d in &downloads {
+                per_server[d.server.index()] += inst.object_rate(d.ty);
+            }
+            for (i, load) in per_server.iter().enumerate() {
+                assert!(
+                    *load <= inst.platform.servers[i].nic_bandwidth + 1e-6,
+                    "server {i} overloaded: {load}"
+                );
+            }
+        }
+    }
+}

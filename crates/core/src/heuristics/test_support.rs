@@ -1,0 +1,84 @@
+//! Small random-instance generator for unit tests inside `snsp-core`.
+//!
+//! The real experiment generator lives in `snsp-gen`; this mirrors its
+//! defaults (15 object types, small sizes, high frequency, 6 servers)
+//! closely enough for the heuristics' unit tests without creating a
+//! dependency cycle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::{OpId, ServerId, TypeId};
+use crate::instance::Instance;
+use crate::object::{ObjectCatalog, ObjectType};
+use crate::platform::Platform;
+use crate::tree::OperatorTree;
+use crate::work::WorkModel;
+
+/// A random instance following the paper's §5 methodology.
+pub fn paper_like_instance(n_ops: usize, alpha: f64, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_types = 15;
+    let mut objects = ObjectCatalog::new();
+    for _ in 0..n_types {
+        objects.add(ObjectType::new(rng.gen_range(5.0..=30.0), 0.5));
+    }
+
+    // Random full binary tree: grow by expanding a random open slot.
+    let mut b = OperatorTree::builder();
+    let root = b.add_root();
+    let mut open: Vec<(OpId, usize)> = vec![(root, 2)];
+    while b.len() < n_ops {
+        let i = rng.gen_range(0..open.len());
+        let (parent, slots) = open[i];
+        let child = b.add_child(parent).unwrap();
+        if slots == 1 {
+            open.swap_remove(i);
+        } else {
+            open[i].1 = 1;
+        }
+        open.push((child, 2));
+    }
+    for (op, slots) in open {
+        for _ in 0..slots {
+            let ty = TypeId::from(rng.gen_range(0..n_types));
+            b.add_leaf(op, ty).unwrap();
+        }
+    }
+    let mut tree = b.finish().unwrap();
+    tree.apply_work_model(&objects, &WorkModel::paper(alpha));
+
+    let mut platform = Platform::paper(n_types);
+    let n_servers = platform.servers.len();
+    for ty in 0..n_types {
+        let copies = rng.gen_range(1..=2);
+        for _ in 0..copies {
+            let s = ServerId::from(rng.gen_range(0..n_servers));
+            platform.placement.add_holder(TypeId::from(ty), s);
+        }
+    }
+    Instance::new(tree, objects, platform, 1.0).expect("generated instance must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size() {
+        let inst = paper_like_instance(40, 0.9, 1);
+        assert_eq!(inst.tree.len(), 40);
+        assert_eq!(inst.tree.leaf_count(), 41);
+        assert!(inst.validate().is_ok());
+    }
+
+    #[test]
+    fn is_seed_deterministic() {
+        let a = paper_like_instance(10, 1.3, 9);
+        let b = paper_like_instance(10, 1.3, 9);
+        assert_eq!(a.tree.len(), b.tree.len());
+        for op in a.tree.ops() {
+            assert_eq!(a.tree.work(op), b.tree.work(op));
+        }
+    }
+}

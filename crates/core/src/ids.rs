@@ -1,0 +1,103 @@
+//! Strongly-typed index newtypes.
+//!
+//! All model entities (operators, object types, servers, purchased
+//! processors) live in contiguous arenas and are referred to by small
+//! copyable ids. Using distinct newtypes instead of raw `usize` prevents an
+//! entire class of mix-ups (e.g. indexing the server table with an operator
+//! id) at zero runtime cost.
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a `usize`, for indexing into the owning arena.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                $name(i as u32)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+define_id! {
+    /// Index of an operator (internal node) in an [`crate::tree::OperatorTree`].
+    OpId
+}
+
+define_id! {
+    /// Index of a basic-object *type* in an [`crate::object::ObjectCatalog`].
+    ///
+    /// The paper's simulations use 15 object types; several tree leaves may
+    /// refer to the same type (the type is then "shared", which is exactly
+    /// what makes the mapping problem NP-hard).
+    TypeId
+}
+
+define_id! {
+    /// Index of a data server in the [`crate::platform::Platform`].
+    ServerId
+}
+
+define_id! {
+    /// Index of a *purchased* processor in a [`crate::mapping::Mapping`].
+    ///
+    /// Processors do not pre-exist: the constructive scenario buys them, so
+    /// `ProcId`s are only meaningful relative to one mapping.
+    ProcId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_usize() {
+        let id = OpId::from(42usize);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, OpId(42));
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(OpId(1) < OpId(2));
+        assert!(ServerId(0) < ServerId(5));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", TypeId(7)), "TypeId(7)");
+        assert_eq!(format!("{}", TypeId(7)), "7");
+    }
+
+    #[test]
+    fn ids_are_hashable() {
+        let mut set = std::collections::HashSet::new();
+        set.insert(ProcId(1));
+        set.insert(ProcId(1));
+        set.insert(ProcId(2));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Human-readable description of a mapping (used by the examples and handy
+//! for debugging placements).
+
+use crate::constraints;
+use crate::instance::Instance;
+use crate::mapping::Mapping;
+
+/// Renders a per-processor summary: purchased configuration, assigned
+/// operators, CPU/NIC utilization at the instance's ρ, and download
+/// sources.
+pub fn describe(inst: &Instance, mapping: &Mapping) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let loads = constraints::loads(inst, mapping);
+    let _ = writeln!(
+        out,
+        "{} processor(s), total cost ${}",
+        mapping.proc_count(),
+        mapping.cost(inst)
+    );
+    for u in mapping.proc_ids() {
+        let kind = inst.platform.catalog.kind(mapping.proc_kinds[u.index()]);
+        let cpu = 100.0 * loads.cpu_fraction(u, kind.speed, inst.rho);
+        let nic = 100.0 * loads.proc_nic(u) / kind.bandwidth;
+        let ops: Vec<String> = mapping.ops_on(u).iter().map(|op| format!("n{op}")).collect();
+        let _ = writeln!(
+            out,
+            "  P{u}: {:.2} Gop/s, {:.0} MB/s NIC, ${} — cpu {cpu:.1}%, nic {nic:.1}%",
+            kind.speed, kind.bandwidth, kind.cost
+        );
+        let _ = writeln!(out, "      operators: {}", ops.join(" "));
+        let dls: Vec<String> = mapping
+            .downloads_of(u)
+            .map(|(ty, s)| format!("o{ty}←S{s}"))
+            .collect();
+        if !dls.is_empty() {
+            let _ = writeln!(out, "      downloads: {}", dls.join(" "));
+        }
+    }
+    let max_rho = constraints::max_throughput(inst, mapping);
+    let _ = writeln!(
+        out,
+        "  target throughput ρ = {} /s, analytic maximum = {:.3} /s",
+        inst.rho,
+        max_rho
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::test_support::paper_like_instance;
+    use crate::heuristics::{solve, PipelineOptions, SubtreeBottomUp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn describe_mentions_every_processor_and_cost() {
+        let inst = paper_like_instance(12, 0.9, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let sol = solve(&SubtreeBottomUp, &inst, &mut rng, &PipelineOptions::default()).unwrap();
+        let text = describe(&inst, &sol.mapping);
+        assert!(text.contains(&format!("total cost ${}", sol.cost)));
+        for u in 0..sol.mapping.proc_count() {
+            assert!(text.contains(&format!("P{u}:")));
+        }
+        assert!(text.contains("analytic maximum"));
+    }
+}

@@ -1,0 +1,282 @@
+//! Mutable applications: operator-tree rewriting (the paper's §6 future
+//! work, citing Chen/DeWitt/Naughton's alternative placement strategies).
+//!
+//! When the aggregation operator is associative and commutative (joins,
+//! max-pooling, correlation), any binary tree over the same multiset of
+//! basic objects computes the same result. The tree *shape*, however,
+//! changes both total work (`Σ κ·input^α`) and intermediate output sizes —
+//! and therefore the purchasable platform's cost. This module rebuilds a
+//! tree under a chosen strategy:
+//!
+//! * [`RewriteStrategy::LeftDeep`] — the classical query-plan chain
+//!   (Fig. 1(b)); maximizes pipelining but accumulates the largest
+//!   intermediate results early.
+//! * [`RewriteStrategy::Balanced`] — minimum height.
+//! * [`RewriteStrategy::HuffmanBySize`] — combine the two smallest
+//!   available inputs first (a Huffman code over sizes), which provably
+//!   minimizes `Σ_i δ_i` over all tree shapes — the total intermediate
+//!   traffic the platform must absorb.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::ids::TypeId;
+use crate::object::ObjectCatalog;
+use crate::tree::{OperatorTree, TreeBuilder};
+use crate::work::WorkModel;
+
+/// Shape strategy for [`rewrite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewriteStrategy {
+    /// Chain: combine leaves one at a time.
+    LeftDeep,
+    /// Minimum-height tree.
+    Balanced,
+    /// Combine smallest intermediate results first (minimizes `Σ δ_i`).
+    HuffmanBySize,
+}
+
+/// A shape blueprint built bottom-up, instantiated top-down.
+enum Plan {
+    Leaf(TypeId),
+    Node(Box<Plan>, Box<Plan>),
+}
+
+/// Rebuilds `tree` over the same multiset of basic-object leaves using
+/// `strategy`, and applies `model` to the result. The returned tree is a
+/// valid application equivalent to the input under
+/// associativity/commutativity of the operators.
+///
+/// # Panics
+/// Panics if `tree` has fewer than one leaf (impossible for validated
+/// trees whose leaves are all basic objects).
+pub fn rewrite(
+    tree: &OperatorTree,
+    objects: &ObjectCatalog,
+    model: &WorkModel,
+    strategy: RewriteStrategy,
+) -> OperatorTree {
+    let mut leaves: Vec<TypeId> = tree
+        .ops()
+        .flat_map(|op| tree.leaf_types(op).iter().copied())
+        .collect();
+    assert!(!leaves.is_empty(), "tree has no basic-object leaves");
+    leaves.sort_unstable(); // determinism independent of input shape
+
+    let plan = match strategy {
+        RewriteStrategy::LeftDeep => left_deep_plan(&leaves),
+        RewriteStrategy::Balanced => balanced_plan(&leaves),
+        RewriteStrategy::HuffmanBySize => huffman_plan(&leaves, objects),
+    };
+
+    let mut builder = TreeBuilder::new();
+    let root = builder.add_root();
+    instantiate(&mut builder, root, plan);
+    let mut out = builder.finish().expect("plan is rooted");
+    out.apply_work_model(objects, model);
+    out
+}
+
+fn left_deep_plan(leaves: &[TypeId]) -> Plan {
+    let mut iter = leaves.iter().copied();
+    let first = Plan::Leaf(iter.next().unwrap());
+    match iter.next() {
+        None => first,
+        Some(second) => {
+            let mut plan = Plan::Node(Box::new(first), Box::new(Plan::Leaf(second)));
+            for ty in iter {
+                plan = Plan::Node(Box::new(plan), Box::new(Plan::Leaf(ty)));
+            }
+            plan
+        }
+    }
+}
+
+fn balanced_plan(leaves: &[TypeId]) -> Plan {
+    match leaves {
+        [only] => Plan::Leaf(*only),
+        _ => {
+            let mid = leaves.len() / 2;
+            Plan::Node(
+                Box::new(balanced_plan(&leaves[..mid])),
+                Box::new(balanced_plan(&leaves[mid..])),
+            )
+        }
+    }
+}
+
+fn huffman_plan(leaves: &[TypeId], objects: &ObjectCatalog) -> Plan {
+    // Min-heap keyed by subtree size; ties broken by an insertion counter
+    // for determinism. f64 sizes are positive and finite, so the bit
+    // pattern comparison through `OrdF64` below is a total order.
+    #[derive(PartialEq, PartialOrd)]
+    struct OrdF64(f64);
+    impl Eq for OrdF64 {}
+    #[allow(clippy::derive_ord_xor_partial_ord)]
+    impl Ord for OrdF64 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.partial_cmp(other).expect("sizes are finite")
+        }
+    }
+
+    let mut counter = 0u64;
+    let mut heap: BinaryHeap<Reverse<(OrdF64, u64)>> = BinaryHeap::new();
+    let mut nodes: Vec<Option<Plan>> = Vec::new();
+    for &ty in leaves {
+        heap.push(Reverse((OrdF64(objects.size(ty)), counter)));
+        nodes.push(Some(Plan::Leaf(ty)));
+        counter += 1;
+    }
+    while heap.len() > 1 {
+        let Reverse((OrdF64(sa), ia)) = heap.pop().unwrap();
+        let Reverse((OrdF64(sb), ib)) = heap.pop().unwrap();
+        let a = nodes[ia as usize].take().unwrap();
+        let b = nodes[ib as usize].take().unwrap();
+        heap.push(Reverse((OrdF64(sa + sb), counter)));
+        nodes.push(Some(Plan::Node(Box::new(a), Box::new(b))));
+        counter += 1;
+    }
+    let Reverse((_, idx)) = heap.pop().unwrap();
+    nodes[idx as usize].take().unwrap()
+}
+
+fn instantiate(builder: &mut TreeBuilder, op: crate::ids::OpId, plan: Plan) {
+    let Plan::Node(l, r) = plan else {
+        // A single-leaf plan: the root operator just republishes it.
+        if let Plan::Leaf(ty) = plan {
+            builder.add_leaf(op, ty).unwrap();
+        }
+        return;
+    };
+    for side in [*l, *r] {
+        match side {
+            Plan::Leaf(ty) => builder.add_leaf(op, ty).unwrap(),
+            node => {
+                let child = builder.add_child(op).unwrap();
+                instantiate(builder, child, node);
+            }
+        }
+    }
+}
+
+/// Total intermediate traffic `Σ_i δ_i` of a tree — the quantity
+/// [`RewriteStrategy::HuffmanBySize`] minimizes.
+pub fn total_intermediate_size(tree: &OperatorTree) -> f64 {
+    tree.ops().map(|op| tree.output(op)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectType;
+
+    fn setup() -> (ObjectCatalog, OperatorTree, WorkModel) {
+        let mut objects = ObjectCatalog::new();
+        for size in [5.0, 12.0, 20.0, 28.0, 9.0] {
+            objects.add(ObjectType::new(size, 0.5));
+        }
+        // An arbitrary shape over 6 leaves (type 0 twice).
+        let mut b = OperatorTree::builder();
+        let root = b.add_root();
+        let l = b.add_child(root).unwrap();
+        let r = b.add_child(root).unwrap();
+        b.add_leaf(l, TypeId(0)).unwrap();
+        b.add_leaf(l, TypeId(1)).unwrap();
+        let rl = b.add_child(r).unwrap();
+        b.add_leaf(r, TypeId(2)).unwrap();
+        b.add_leaf(rl, TypeId(3)).unwrap();
+        b.add_leaf(rl, TypeId(4)).unwrap();
+        let mut tree = b.finish().unwrap();
+        let model = WorkModel::paper(1.2);
+        tree.apply_work_model(&objects, &model);
+        (objects, tree, model)
+    }
+
+    fn leaf_multiset(tree: &OperatorTree) -> Vec<TypeId> {
+        let mut v: Vec<TypeId> = tree
+            .ops()
+            .flat_map(|op| tree.leaf_types(op).iter().copied())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn rewriting_preserves_the_leaf_multiset() {
+        let (objects, tree, model) = setup();
+        for strategy in [
+            RewriteStrategy::LeftDeep,
+            RewriteStrategy::Balanced,
+            RewriteStrategy::HuffmanBySize,
+        ] {
+            let out = rewrite(&tree, &objects, &model, strategy);
+            assert_eq!(leaf_multiset(&out), leaf_multiset(&tree), "{strategy:?}");
+            assert!(out.validate(&objects).is_ok(), "{strategy:?}");
+            // Root output (= total leaf mass) is shape-invariant.
+            assert!(
+                (out.output(out.root()) - tree.output(tree.root())).abs() < 1e-9,
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn left_deep_rewrite_is_left_deep() {
+        let (objects, tree, model) = setup();
+        let out = rewrite(&tree, &objects, &model, RewriteStrategy::LeftDeep);
+        assert!(out.is_left_deep());
+        assert_eq!(out.height(), out.len() - 1);
+    }
+
+    #[test]
+    fn balanced_rewrite_minimizes_height() {
+        let (objects, tree, model) = setup();
+        let out = rewrite(&tree, &objects, &model, RewriteStrategy::Balanced);
+        let n_leaves = leaf_multiset(&tree).len();
+        let min_height = (n_leaves as f64).log2().ceil() as usize - 1;
+        assert!(
+            out.height() <= min_height + 1,
+            "height {} for {n_leaves} leaves",
+            out.height()
+        );
+    }
+
+    #[test]
+    fn huffman_minimizes_total_intermediate_size() {
+        let (objects, tree, model) = setup();
+        let huffman = rewrite(&tree, &objects, &model, RewriteStrategy::HuffmanBySize);
+        for other in [RewriteStrategy::LeftDeep, RewriteStrategy::Balanced] {
+            let alt = rewrite(&tree, &objects, &model, other);
+            assert!(
+                total_intermediate_size(&huffman)
+                    <= total_intermediate_size(&alt) + 1e-9,
+                "huffman {} > {other:?} {}",
+                total_intermediate_size(&huffman),
+                total_intermediate_size(&alt)
+            );
+        }
+        // And never worse than the original shape either.
+        assert!(total_intermediate_size(&huffman) <= total_intermediate_size(&tree) + 1e-9);
+    }
+
+    #[test]
+    fn single_leaf_tree_rewrites_to_single_operator() {
+        let mut objects = ObjectCatalog::new();
+        let ty = objects.add(ObjectType::new(7.0, 0.5));
+        let mut b = OperatorTree::builder();
+        let root = b.add_root();
+        b.add_leaf(root, ty).unwrap();
+        let mut tree = b.finish().unwrap();
+        let model = WorkModel::paper(1.0);
+        tree.apply_work_model(&objects, &model);
+        for strategy in [
+            RewriteStrategy::LeftDeep,
+            RewriteStrategy::Balanced,
+            RewriteStrategy::HuffmanBySize,
+        ] {
+            let out = rewrite(&tree, &objects, &model, strategy);
+            assert_eq!(out.len(), 1);
+            assert_eq!(leaf_multiset(&out), vec![ty]);
+        }
+    }
+}

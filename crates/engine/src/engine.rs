@@ -1,0 +1,445 @@
+//! The steady-state discrete-event engine.
+//!
+//! Executes a mapped operator tree result-by-result under the paper's
+//! execution model (§2.3): every operator's processor concurrently
+//! receives inputs for result `t+1`, computes result `t` and sends result
+//! `t−1`; basic-object downloads run continuously in the background with a
+//! fixed bandwidth reservation of `rate_k` per stream.
+//!
+//! The engine is a fluid DES: at every event the CPU share of each active
+//! computation (equal split per processor, work-conserving) and the
+//! max-min fair rate of each active transfer are recomputed, and time
+//! advances to the next completion. The measured root completion rate is
+//! the *achieved throughput*, which for a feasible mapping must reach the
+//! instance's target ρ and can never exceed the analytic
+//! [`snsp_core::constraints::max_throughput`].
+
+use std::collections::BTreeMap;
+
+use snsp_core::ids::{OpId, ProcId};
+use snsp_core::instance::Instance;
+use snsp_core::mapping::Mapping;
+
+use crate::flows::max_min_fair;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Number of final results the root must produce.
+    pub results: usize,
+    /// Results ignored at the start when estimating throughput.
+    pub warmup: usize,
+    /// Pipeline depth: a child may run at most this many results ahead of
+    /// a remote parent.
+    pub buffer: usize,
+    /// Hard wall on simulated seconds.
+    pub max_time: f64,
+}
+
+impl Default for SimConfig {
+    /// 160 results with 20 warm-up keeps the finite-window bias (up to
+    /// `buffer / (results − warmup)` of the measured rate, from operators
+    /// running ahead of the root at the window edges) under ~3%.
+    fn default() -> Self {
+        SimConfig { results: 160, warmup: 20, buffer: 4, max_time: 1e7 }
+    }
+}
+
+/// Engine failures.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// The mapping is structurally unusable (wrong assignment length or
+    /// missing downloads).
+    BadMapping(String),
+    /// A processor's download reservations alone exceed its NIC: transfers
+    /// through it can make no progress.
+    NicSaturated(ProcId),
+    /// No active job could make progress (should not happen for
+    /// structurally valid mappings).
+    Stalled { time: f64 },
+    /// `max_time` elapsed before the requested results were produced.
+    TimedOut { completed: usize },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::BadMapping(m) => write!(f, "bad mapping: {m}"),
+            SimError::NicSaturated(p) => {
+                write!(f, "processor {p} NIC fully consumed by downloads")
+            }
+            SimError::Stalled { time } => write!(f, "simulation stalled at t={time}"),
+            SimError::TimedOut { completed } => {
+                write!(f, "timed out after {completed} results")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Measurement output.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Root completion times, seconds.
+    pub completion_times: Vec<f64>,
+    /// Steady-state results per second over the post-warmup window.
+    pub achieved_throughput: f64,
+    /// Total simulated time.
+    pub sim_time: f64,
+    /// Number of engine events processed.
+    pub events: u64,
+}
+
+impl SimReport {
+    fn from_completions(completion_times: Vec<f64>, warmup: usize, events: u64) -> Self {
+        let sim_time = completion_times.last().copied().unwrap_or(0.0);
+        let achieved = if completion_times.len() > warmup + 1 {
+            let t0 = completion_times[warmup];
+            let t1 = *completion_times.last().unwrap();
+            (completion_times.len() - warmup - 1) as f64 / (t1 - t0)
+        } else {
+            0.0
+        };
+        SimReport {
+            completion_times,
+            achieved_throughput: achieved,
+            sim_time,
+            events,
+        }
+    }
+}
+
+/// One remote tree edge with its transfer pipeline state.
+struct RemoteEdge {
+    child: OpId,
+    parent: OpId,
+    src: ProcId,
+    dst: ProcId,
+    bytes: f64,
+    /// Completed transfers (results fully delivered to the parent).
+    delivered: usize,
+    /// In-flight transfer: remaining MB of the `delivered`-th result.
+    active: Option<f64>,
+}
+
+/// Runs the engine on one mapping.
+pub fn simulate(
+    inst: &Instance,
+    mapping: &Mapping,
+    config: &SimConfig,
+) -> Result<SimReport, SimError> {
+    let n = inst.tree.len();
+    if mapping.assignment.len() != n {
+        return Err(SimError::BadMapping(format!(
+            "assignment covers {} of {} operators",
+            mapping.assignment.len(),
+            n
+        )));
+    }
+    for u in mapping.proc_ids() {
+        for ty in mapping.required_types(inst, u) {
+            if !mapping.downloads_of(u).any(|(t, _)| t == ty) {
+                return Err(SimError::BadMapping(format!(
+                    "processor {u} has no download stream for object {ty}"
+                )));
+            }
+        }
+    }
+
+    // Static download reservations per processor NIC.
+    let mut reserved = vec![0.0_f64; mapping.proc_count()];
+    for d in &mapping.downloads {
+        reserved[d.proc.index()] += inst.object_rate(d.ty);
+    }
+
+    // Remote edges and the dynamic network resource table.
+    let mut edges: Vec<RemoteEdge> = Vec::new();
+    for op in inst.tree.ops() {
+        if let Some(p) = inst.tree.parent(op) {
+            let (u, v) = (mapping.proc_of(op), mapping.proc_of(p));
+            if u != v {
+                edges.push(RemoteEdge {
+                    child: op,
+                    parent: p,
+                    src: u,
+                    dst: v,
+                    bytes: inst.tree.output(op),
+                    delivered: 0,
+                    active: None,
+                });
+            }
+        }
+    }
+    // Resource indices: one per processor NIC, one per used pair link.
+    let mut resources: Vec<f64> = Vec::new();
+    let mut nic_res: Vec<Option<usize>> = vec![None; mapping.proc_count()];
+    let mut link_res: BTreeMap<(ProcId, ProcId), usize> = BTreeMap::new();
+    for e in &edges {
+        for p in [e.src, e.dst] {
+            if nic_res[p.index()].is_none() {
+                let kind = inst.platform.catalog.kind(mapping.proc_kinds[p.index()]);
+                let cap = kind.bandwidth - reserved[p.index()];
+                if cap <= 0.0 {
+                    return Err(SimError::NicSaturated(p));
+                }
+                nic_res[p.index()] = Some(resources.len());
+                resources.push(cap);
+            }
+        }
+        let key = if e.src < e.dst { (e.src, e.dst) } else { (e.dst, e.src) };
+        link_res.entry(key).or_insert_with(|| {
+            resources.push(inst.platform.proc_link);
+            resources.len() - 1
+        });
+    }
+    let edge_path: Vec<Vec<usize>> = edges
+        .iter()
+        .map(|e| {
+            let key = if e.src < e.dst { (e.src, e.dst) } else { (e.dst, e.src) };
+            vec![
+                nic_res[e.src.index()].unwrap(),
+                nic_res[e.dst.index()].unwrap(),
+                link_res[&key],
+            ]
+        })
+        .collect();
+
+    // Remote in-edges per operator (indices into `edges`); local children
+    // deliver instantly through the shared memory of the processor.
+    let mut remote_in: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, e) in edges.iter().enumerate() {
+        remote_in[e.parent.index()].push(i);
+    }
+
+    // Per-operator state.
+    let mut computed = vec![0usize; n];
+    let mut computing: Vec<Option<f64>> = vec![None; n]; // remaining Gop
+    let mut completion_times = Vec::with_capacity(config.results);
+    let root = inst.tree.root();
+    let mut t = 0.0_f64;
+    let mut events = 0u64;
+
+    // An operator may start result r when every operator child has
+    // delivered result r (locally via `computed`, remotely via the edge
+    // pipeline) and its parent is within the pipeline window. Only the
+    // root is capped at `config.results`: upstream operators keep the
+    // pipeline full until the root is done, so the measured root rate is a
+    // true steady-state throughput, not a drained-pipeline burst.
+    let ready = |op: OpId,
+                 computed: &[usize],
+                 computing: &[Option<f64>],
+                 edges: &[RemoteEdge],
+                 remote_in: &[Vec<usize>]|
+     -> bool {
+        if computing[op.index()].is_some() {
+            return false;
+        }
+        let r = computed[op.index()];
+        match inst.tree.parent(op) {
+            None => {
+                if r >= config.results {
+                    return false;
+                }
+            }
+            // Per-parent window: each hop may run at most `buffer` results
+            // ahead, which bounds memory while letting deep chains fill.
+            Some(p) => {
+                if r >= computed[p.index()] + config.buffer {
+                    return false;
+                }
+            }
+        }
+        for &c in inst.tree.children(op) {
+            let local = inst.tree.parent(c).map(|p| p == op).unwrap_or(false)
+                && mapping.proc_of(c) == mapping.proc_of(op);
+            if local {
+                if computed[c.index()] <= r {
+                    return false;
+                }
+            }
+        }
+        for &ei in &remote_in[op.index()] {
+            if edges[ei].delivered <= r {
+                return false;
+            }
+        }
+        true
+    };
+
+    loop {
+        // Fixpoint: start every compute and transfer that can start.
+        let mut started = true;
+        while started {
+            started = false;
+            for op in inst.tree.ops() {
+                if ready(op, &computed, &computing, &edges, &remote_in) {
+                    computing[op.index()] = Some(inst.tree.work(op).max(1e-12));
+                    started = true;
+                }
+            }
+            for e in edges.iter_mut() {
+                if e.active.is_none()
+                    && computed[e.child.index()] > e.delivered
+                    && e.delivered < computed[e.parent.index()] + config.buffer
+                {
+                    e.active = Some(e.bytes.max(1e-12));
+                    started = true;
+                }
+            }
+        }
+
+        if completion_times.len() >= config.results {
+            break;
+        }
+
+        // Compute rates: generalized processor sharing weighted by w_i, so
+        // every active operator on a processor advances through *results*
+        // at the same pace (the fluid ideal constraint (1) assumes).
+        let mut cpu_active = vec![0.0_f64; mapping.proc_count()];
+        for op in inst.tree.ops() {
+            if computing[op.index()].is_some() {
+                cpu_active[mapping.proc_of(op).index()] +=
+                    inst.tree.work(op).max(1e-12);
+            }
+        }
+        let cpu_rate = |op: OpId, cpu_active: &[f64]| -> f64 {
+            let u = mapping.proc_of(op);
+            let kind = inst.platform.catalog.kind(mapping.proc_kinds[u.index()]);
+            kind.speed * inst.tree.work(op).max(1e-12) / cpu_active[u.index()]
+        };
+        let active_flows: Vec<usize> = edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.active.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let flow_paths: Vec<Vec<usize>> =
+            active_flows.iter().map(|&i| edge_path[i].clone()).collect();
+        let flow_rates = max_min_fair(&resources, &flow_paths);
+
+        // Next completion.
+        let mut dt = f64::INFINITY;
+        for op in inst.tree.ops() {
+            if let Some(rem) = computing[op.index()] {
+                dt = dt.min(rem / cpu_rate(op, &cpu_active));
+            }
+        }
+        for (fi, &ei) in active_flows.iter().enumerate() {
+            let rem = edges[ei].active.unwrap();
+            if flow_rates[fi] > 0.0 {
+                dt = dt.min(rem / flow_rates[fi]);
+            }
+        }
+        if !dt.is_finite() {
+            return Err(SimError::Stalled { time: t });
+        }
+        t += dt;
+        events += 1;
+        if t > config.max_time {
+            return Err(SimError::TimedOut { completed: completion_times.len() });
+        }
+
+        // Advance and collect completions.
+        for op in inst.tree.ops() {
+            if let Some(rem) = computing[op.index()] {
+                let left = rem - cpu_rate(op, &cpu_active) * dt;
+                if left <= 1e-9 {
+                    computing[op.index()] = None;
+                    computed[op.index()] += 1;
+                    if op == root {
+                        completion_times.push(t);
+                    }
+                } else {
+                    computing[op.index()] = Some(left);
+                }
+            }
+        }
+        for (fi, &ei) in active_flows.iter().enumerate() {
+            let e = &mut edges[ei];
+            let rem = e.active.unwrap();
+            let left = rem - flow_rates[fi] * dt;
+            if left <= 1e-9 {
+                e.active = None;
+                e.delivered += 1;
+            } else {
+                e.active = Some(left);
+            }
+        }
+    }
+
+    Ok(SimReport::from_completions(completion_times, config.warmup, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snsp_core::constraints;
+    use snsp_core::heuristics::{solve, PipelineOptions, SubtreeBottomUp};
+    use snsp_gen::paper_instance;
+
+    fn solved(n: usize, alpha: f64, seed: u64) -> (snsp_core::Instance, Mapping) {
+        let inst = paper_instance(n, alpha, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sol = solve(&SubtreeBottomUp, &inst, &mut rng, &PipelineOptions::default())
+            .expect("feasible at this alpha");
+        (inst, sol.mapping)
+    }
+
+    #[test]
+    fn feasible_mapping_achieves_target_throughput() {
+        let (inst, mapping) = solved(20, 0.9, 1);
+        let report = simulate(&inst, &mapping, &SimConfig::default()).unwrap();
+        assert!(
+            report.achieved_throughput >= inst.rho * 0.95,
+            "achieved {} < ρ {}",
+            report.achieved_throughput,
+            inst.rho
+        );
+    }
+
+    #[test]
+    fn achieved_never_exceeds_analytic_bound() {
+        for seed in [2, 3] {
+            let (inst, mapping) = solved(15, 1.2, seed);
+            let bound = constraints::max_throughput(&inst, &mapping);
+            let report = simulate(&inst, &mapping, &SimConfig::default()).unwrap();
+            assert!(
+                report.achieved_throughput <= bound * 1.05,
+                "achieved {} > bound {}",
+                report.achieved_throughput,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn completion_times_are_monotone() {
+        let (inst, mapping) = solved(12, 1.0, 4);
+        let report = simulate(&inst, &mapping, &SimConfig::default()).unwrap();
+        assert_eq!(report.completion_times.len(), SimConfig::default().results);
+        assert!(report
+            .completion_times
+            .windows(2)
+            .all(|w| w[1] >= w[0] - 1e-12));
+    }
+
+    #[test]
+    fn bad_mapping_is_rejected() {
+        let (inst, mapping) = solved(10, 0.9, 5);
+        let mut broken = mapping.clone();
+        broken.downloads.clear();
+        assert!(matches!(
+            simulate(&inst, &broken, &SimConfig::default()),
+            Err(SimError::BadMapping(_))
+        ));
+        let mut short = mapping;
+        short.assignment.pop();
+        assert!(matches!(
+            simulate(&inst, &short, &SimConfig::default()),
+            Err(SimError::BadMapping(_))
+        ));
+    }
+}

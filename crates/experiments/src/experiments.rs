@@ -1,0 +1,477 @@
+//! One function per paper table/figure (see DESIGN.md's experiment index).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snsp_core::heuristics::{
+    all_heuristics, solve, CommGreedy, PipelineOptions, SubtreeBottomUp,
+};
+use snsp_core::platform::{Catalog, MBPS_PER_GBPS};
+use snsp_engine::{simulate, SimConfig};
+use snsp_gen::{generate, Frequency, ScenarioParams, SizeRange, TreeShape};
+use snsp_solver::{lower_bound, solve_exact, BranchBoundConfig};
+
+use crate::runner::evaluate_point;
+use crate::table::{fmt_cost, Table};
+
+/// Heuristic names in presentation order (column headers).
+pub fn heuristic_names() -> Vec<&'static str> {
+    all_heuristics().iter().map(|h| h.name()).collect()
+}
+
+fn cost_header(first: &str) -> Vec<String> {
+    let mut h = vec![first.to_string()];
+    h.extend(heuristic_names().iter().map(|s| s.to_string()));
+    h
+}
+
+/// Renders a cost table plus a feasibility table over a one-parameter
+/// sweep. `points` yields `(row-label, params)`.
+fn sweep(
+    title: &str,
+    axis: &str,
+    points: Vec<(String, ScenarioParams)>,
+    seeds: u64,
+) -> Vec<Table> {
+    let mut costs = Table::new(
+        format!("{title} — mean cost ($) over feasible runs"),
+        &cost_header(axis).iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let mut feas = Table::new(
+        format!("{title} — feasible runs out of {seeds}"),
+        &cost_header(axis).iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for (label, params) in points {
+        let stats = evaluate_point(
+            &params,
+            TreeShape::Random,
+            0..seeds,
+            &PipelineOptions::default(),
+        );
+        let mut cost_row = vec![label.clone()];
+        let mut feas_row = vec![label];
+        for s in &stats {
+            cost_row.push(fmt_cost(s.mean_cost));
+            feas_row.push(format!("{}", s.feasible));
+        }
+        costs.push(cost_row);
+        feas.push(feas_row);
+    }
+    vec![costs, feas]
+}
+
+/// Table 1: the purchase catalog with the paper's price/performance ratios.
+pub fn table1() -> Vec<Table> {
+    let catalog = Catalog::paper();
+    let mut cpus = Table::new(
+        "Table 1 — processor options (Dell PowerEdge R900, March 2008)",
+        &["Performance (GHz)", "Cost ($)", "Ratio (GHz/$) ×10⁻³"],
+    );
+    for c in catalog.cpus() {
+        let cost = catalog.chassis_cost() + c.upgrade_cost;
+        cpus.push(vec![
+            format!("{:.2}", c.speed),
+            format!("7,548 + {}", c.upgrade_cost),
+            format!("{:.2}", 1e3 * c.speed / cost as f64),
+        ]);
+    }
+    let mut nics = Table::new(
+        "Table 1 — network card options",
+        &["Bandwidth (Gbps)", "Cost ($)", "Ratio (Gbps/$) ×10⁻⁴"],
+    );
+    for n in catalog.nics() {
+        let cost = catalog.chassis_cost() + n.upgrade_cost;
+        let gbps = n.bandwidth / MBPS_PER_GBPS;
+        nics.push(vec![
+            format!("{gbps:.0}"),
+            format!("7,548 + {}", n.upgrade_cost),
+            format!("{:.2}", 1e4 * gbps / cost as f64),
+        ]);
+    }
+    vec![cpus, nics]
+}
+
+/// Fig. 2(a)/(b): cost vs N, high frequency, small objects, fixed α.
+pub fn fig2(alpha: f64, seeds: u64) -> Vec<Table> {
+    let points = (20..=140)
+        .step_by(20)
+        .map(|n| (n.to_string(), ScenarioParams::paper(n, alpha)))
+        .collect();
+    sweep(
+        &format!("Fig. 2 (α = {alpha}) — high frequency, small objects"),
+        "N",
+        points,
+        seeds,
+    )
+}
+
+/// Fig. 3: cost vs α at fixed N (the paper shows N = 60 and discusses
+/// N = 20).
+pub fn fig3(n: usize, seeds: u64) -> Vec<Table> {
+    let points = (5..=25)
+        .map(|a| {
+            let alpha = a as f64 / 10.0;
+            (format!("{alpha:.1}"), ScenarioParams::paper(n, alpha))
+        })
+        .collect();
+    sweep(
+        &format!("Fig. 3 (N = {n}) — cost vs α, high frequency, small objects"),
+        "alpha",
+        points,
+        seeds,
+    )
+}
+
+/// §5 text: large objects (450–530 MB); feasibility collapses past N ≈ 45.
+pub fn large_objects(seeds: u64) -> Vec<Table> {
+    let points = (5..=65)
+        .step_by(10)
+        .map(|n| {
+            (
+                n.to_string(),
+                ScenarioParams::paper(n, 0.9).with_sizes(SizeRange::LARGE),
+            )
+        })
+        .collect();
+    sweep(
+        "Large objects (450–530 MB), α = 0.9, high frequency",
+        "N",
+        points,
+        seeds,
+    )
+}
+
+/// §5 text: low download frequency (1/50 s) mirrors the high-frequency
+/// ranking with cheaper network cards.
+pub fn low_frequency(seeds: u64) -> Vec<Table> {
+    let points = (20..=140)
+        .step_by(20)
+        .map(|n| {
+            (
+                n.to_string(),
+                ScenarioParams::paper(n, 0.9).with_freq(Frequency::LOW),
+            )
+        })
+        .collect();
+    sweep(
+        "Low frequency (1/50 s), small objects, α = 0.9",
+        "N",
+        points,
+        seeds,
+    )
+}
+
+/// §5 text: download-rate sweep — frequencies below 1/10 s stop mattering.
+pub fn rate_sweep(seeds: u64) -> Vec<Table> {
+    let freqs = [
+        ("1/2", 0.5),
+        ("1/5", 0.2),
+        ("1/10", 0.1),
+        ("1/20", 0.05),
+        ("1/50", 0.02),
+    ];
+    let mut tables = Vec::new();
+    for n in [60usize, 160] {
+        let points = freqs
+            .iter()
+            .map(|&(label, f)| {
+                (
+                    label.to_string(),
+                    ScenarioParams::paper(n, 0.9).with_freq(Frequency(f)),
+                )
+            })
+            .collect();
+        tables.extend(sweep(
+            &format!("Download-rate sweep, N = {n}, α = 0.9"),
+            "freq (1/s)",
+            points,
+            seeds,
+        ));
+    }
+    tables
+}
+
+/// §5 last experiment: heuristics vs the exact optimum on small
+/// homogeneous (CONSTR-HOM) instances.
+pub fn vs_optimal(seeds: u64) -> Vec<Table> {
+    let mut header = vec!["N".to_string(), "alpha".to_string(), "optimal".to_string()];
+    header.extend(heuristic_names().iter().map(|s| s.to_string()));
+    header.push("BB optimal?".to_string());
+    let mut t = Table::new(
+        "Heuristics vs exact optimum — CONSTR-HOM (entry CPU, 1 Gbps NIC)",
+        &header.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+
+    for &alpha in &[0.9, 1.3] {
+        for n in [4usize, 8, 12, 16, 20] {
+            let mut opt_costs: Vec<f64> = Vec::new();
+            let mut heur_costs: Vec<Vec<f64>> = vec![Vec::new(); heuristic_names().len()];
+            let mut all_optimal = true;
+            for seed in 0..seeds {
+                let mut inst =
+                    generate(&ScenarioParams::paper(n, alpha), TreeShape::Random, seed);
+                inst.platform.catalog = Catalog::homogeneous(0, 0);
+                let exact = solve_exact(
+                    &inst,
+                    &BranchBoundConfig { node_budget: 500_000, upper_bound: None },
+                );
+                all_optimal &= exact.optimal;
+                let Some(_) = exact.mapping else { continue };
+                opt_costs.push(exact.cost as f64);
+                // In CONSTR-HOM the downgrade step is skipped (paper §5).
+                let opts = PipelineOptions { downgrade: false, ..Default::default() };
+                for (h, heur) in all_heuristics().iter().enumerate() {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    if let Ok(sol) = solve(heur.as_ref(), &inst, &mut rng, &opts) {
+                        heur_costs[h].push(sol.cost as f64);
+                    }
+                }
+            }
+            let mean = |v: &[f64]| (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64);
+            let mut row = vec![
+                n.to_string(),
+                format!("{alpha}"),
+                fmt_cost(mean(&opt_costs)),
+            ];
+            for costs in &heur_costs {
+                row.push(fmt_cost(mean(costs)));
+            }
+            row.push(if all_optimal { "yes".into() } else { "truncated".into() });
+            t.push(row);
+        }
+    }
+    vec![t]
+}
+
+/// Engine validation (not in the paper): every mapping the heuristics call
+/// feasible must sustain ρ in the discrete-event engine, and the measured
+/// throughput must respect the analytic bound.
+pub fn engine_validation(seeds: u64) -> Vec<Table> {
+    let mut t = Table::new(
+        "Engine validation — achieved throughput of produced mappings (ρ = 1)",
+        &["N", "heuristic", "runs", "min achieved", "mean achieved", "≤ analytic bound"],
+    );
+    let heuristics: [(&str, &dyn snsp_core::heuristics::Heuristic); 2] = [
+        ("Subtree-Bottom-Up", &SubtreeBottomUp),
+        ("Comm-Greedy", &CommGreedy),
+    ];
+    for n in [20usize, 60, 100] {
+        for (name, h) in heuristics {
+            let mut achieved: Vec<f64> = Vec::new();
+            let mut bounded = true;
+            for seed in 0..seeds {
+                let inst = generate(&ScenarioParams::paper(n, 0.9), TreeShape::Random, seed);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let Ok(sol) = solve(h, &inst, &mut rng, &PipelineOptions::default()) else {
+                    continue;
+                };
+                let bound = snsp_core::max_throughput(&inst, &sol.mapping);
+                if let Ok(report) = simulate(&inst, &sol.mapping, &SimConfig::default()) {
+                    bounded &= report.achieved_throughput <= bound * 1.05;
+                    achieved.push(report.achieved_throughput);
+                }
+            }
+            let min = achieved.iter().copied().fold(f64::INFINITY, f64::min);
+            let mean = achieved.iter().sum::<f64>() / achieved.len().max(1) as f64;
+            t.push(vec![
+                n.to_string(),
+                name.to_string(),
+                achieved.len().to_string(),
+                if achieved.is_empty() { "-".into() } else { format!("{min:.3}") },
+                if achieved.is_empty() { "-".into() } else { format!("{mean:.3}") },
+                if bounded { "yes".into() } else { "VIOLATED".into() },
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Extension (paper §6 future work): mutable applications. Rewrite each
+/// random tree under associativity/commutativity and compare the platform
+/// cost of the best mapping on each shape.
+pub fn mutable_rewriting(seeds: u64) -> Vec<Table> {
+    use snsp_core::rewrite::{rewrite, total_intermediate_size, RewriteStrategy};
+    let mut t = Table::new(
+        "Mutable applications — Subtree-Bottom-Up cost per tree shape",
+        &["N", "alpha", "original", "left-deep", "balanced", "huffman", "Σδ orig", "Σδ huffman"],
+    );
+    for &(n, alpha) in &[(20usize, 1.7), (60, 1.5), (60, 1.7), (80, 1.7)] {
+        let mut cols: [Vec<f64>; 4] = Default::default();
+        let mut mass = (Vec::new(), Vec::new());
+        for seed in 0..seeds {
+            let inst = generate(&ScenarioParams::paper(n, alpha), TreeShape::Random, seed);
+            let model = snsp_core::WorkModel::paper(alpha);
+            let shapes: [Option<snsp_core::OperatorTree>; 4] = [
+                None,
+                Some(rewrite(&inst.tree, &inst.objects, &model, RewriteStrategy::LeftDeep)),
+                Some(rewrite(&inst.tree, &inst.objects, &model, RewriteStrategy::Balanced)),
+                Some(rewrite(&inst.tree, &inst.objects, &model, RewriteStrategy::HuffmanBySize)),
+            ];
+            mass.0.push(total_intermediate_size(&inst.tree));
+            if let Some(h) = &shapes[3] {
+                mass.1.push(total_intermediate_size(h));
+            }
+            for (i, shape) in shapes.into_iter().enumerate() {
+                let variant = match shape {
+                    None => inst.clone(),
+                    Some(tree) => snsp_core::Instance::new(
+                        tree,
+                        inst.objects.clone(),
+                        inst.platform.clone(),
+                        inst.rho,
+                    )
+                    .expect("rewritten instances validate"),
+                };
+                let mut rng = StdRng::seed_from_u64(seed);
+                if let Ok(sol) =
+                    solve(&SubtreeBottomUp, &variant, &mut rng, &PipelineOptions::default())
+                {
+                    cols[i].push(sol.cost as f64);
+                }
+            }
+        }
+        let mean = |v: &[f64]| (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64);
+        let mut row = vec![n.to_string(), format!("{alpha}")];
+        for col in &cols {
+            row.push(fmt_cost(mean(col)));
+        }
+        row.push(format!("{:.0}", mean(&mass.0).unwrap_or(0.0)));
+        row.push(format!("{:.0}", mean(&mass.1).unwrap_or(0.0)));
+        t.push(row);
+    }
+    vec![t]
+}
+
+/// Extension (paper §6 future work): multiple applications sharing one
+/// constructive platform — joint placement vs separate platforms.
+pub fn multi_application(seeds: u64) -> Vec<Table> {
+    use snsp_core::multi::{solve_joint, MultiInstance};
+    let mut t = Table::new(
+        "Multiple applications — joint vs separate platforms (Subtree-Bottom-Up)",
+        &["apps × N", "separate ($)", "joint ($)", "saving", "feasible"],
+    );
+    for &(n_apps, n) in &[(2usize, 15usize), (3, 15), (3, 30), (4, 20)] {
+        let mut seps = Vec::new();
+        let mut joints = Vec::new();
+        for seed in 0..seeds {
+            // Shared objects/platform; per-app trees from offset seeds.
+            let base = generate(&ScenarioParams::paper(n, 1.2), TreeShape::Random, seed);
+            let mut apps = Vec::new();
+            for k in 0..n_apps {
+                let donor = generate(
+                    &ScenarioParams::paper(n, 1.2),
+                    TreeShape::Random,
+                    seed * 101 + k as u64,
+                );
+                apps.push(
+                    snsp_core::Instance::new(
+                        donor.tree.clone(),
+                        base.objects.clone(),
+                        base.platform.clone(),
+                        1.0,
+                    )
+                    .expect("apps over shared platform validate"),
+                );
+            }
+            let multi = MultiInstance::new(apps).expect("valid bundle");
+
+            let mut separate = 0u64;
+            let mut all_ok = true;
+            for app in &multi.apps {
+                let mut rng = StdRng::seed_from_u64(seed);
+                match solve(&SubtreeBottomUp, app, &mut rng, &PipelineOptions::default()) {
+                    Ok(sol) => separate += sol.cost,
+                    Err(_) => all_ok = false,
+                }
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            let joint = solve_joint(&multi, &SubtreeBottomUp, &mut rng, &PipelineOptions::default());
+            if let (true, Ok(j)) = (all_ok, joint) {
+                seps.push(separate as f64);
+                joints.push(j.cost as f64);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        let saving = if seps.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{:.0}%", 100.0 * (1.0 - mean(&joints) / mean(&seps)))
+        };
+        t.push(vec![
+            format!("{n_apps} × {n}"),
+            fmt_cost((!seps.is_empty()).then(|| mean(&seps))),
+            fmt_cost((!joints.is_empty()).then(|| mean(&joints))),
+            saving,
+            format!("{}/{seeds}", seps.len()),
+        ]);
+    }
+    vec![t]
+}
+
+/// Extension: the inverse (budgeted) problem — highest ρ per budget.
+pub fn budget_sweep(seeds: u64) -> Vec<Table> {
+    use snsp_solver::max_throughput_under_budget;
+    let mut t = Table::new(
+        "Budgeted throughput — max ρ affordable (Subtree-Bottom-Up, N = 40, α = 1.3)",
+        &["budget ($)", "mean max ρ", "mean cost ($)", "feasible"],
+    );
+    for &budget in &[8_000u64, 16_000, 40_000, 120_000] {
+        let mut rhos = Vec::new();
+        let mut costs = Vec::new();
+        for seed in 0..seeds {
+            let inst = generate(&ScenarioParams::paper(40, 1.3), TreeShape::Random, seed);
+            if let Some(res) =
+                max_throughput_under_budget(&inst, &SubtreeBottomUp, budget, 0.02, seed)
+            {
+                rhos.push(res.rho);
+                costs.push(res.solution.cost as f64);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        t.push(vec![
+            budget.to_string(),
+            format!("{:.2}", mean(&rhos)),
+            format!("{:.0}", mean(&costs)),
+            format!("{}/{seeds}", rhos.len()),
+        ]);
+    }
+    vec![t]
+}
+
+/// Cost lower-bound sanity table: every heuristic cost ≥ the analytic LB.
+pub fn bounds_check(seeds: u64) -> Vec<Table> {
+    let mut t = Table::new(
+        "Analytic lower bound vs heuristic costs, α = 0.9",
+        &["N", "lower bound", "best heuristic", "worst heuristic"],
+    );
+    for n in [20usize, 60, 100] {
+        let mut lbs = Vec::new();
+        let mut best = Vec::new();
+        let mut worst = Vec::new();
+        for seed in 0..seeds {
+            let inst = generate(&ScenarioParams::paper(n, 0.9), TreeShape::Random, seed);
+            lbs.push(lower_bound(&inst).value() as f64);
+            let costs: Vec<f64> = all_heuristics()
+                .iter()
+                .filter_map(|h| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default())
+                        .ok()
+                        .map(|s| s.cost as f64)
+                })
+                .collect();
+            if !costs.is_empty() {
+                best.push(costs.iter().copied().fold(f64::INFINITY, f64::min));
+                worst.push(costs.iter().copied().fold(0.0, f64::max));
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        t.push(vec![
+            n.to_string(),
+            format!("{:.0}", mean(&lbs)),
+            format!("{:.0}", mean(&best)),
+            format!("{:.0}", mean(&worst)),
+        ]);
+    }
+    vec![t]
+}

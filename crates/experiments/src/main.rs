@@ -1,0 +1,115 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation section (§5). See DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured notes.
+//!
+//! ```text
+//! snsp-experiments <id> [--seeds K] [--out DIR]
+//!   ids: table1 fig2a fig2b fig3 fig3n20 large lowfreq rates vsopt
+//!        engine bounds all
+//! ```
+
+mod experiments;
+mod runner;
+mod table;
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use table::Table;
+
+struct Args {
+    experiment: String,
+    seeds: u64,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().ok_or_else(usage)?;
+    let mut seeds = 10;
+    let mut out_dir = PathBuf::from("results");
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--seeds" => {
+                seeds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seeds needs a positive integer")?;
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().ok_or("--out needs a directory")?);
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(Args { experiment, seeds, out_dir })
+}
+
+fn usage() -> String {
+    "usage: snsp-experiments <table1|fig2a|fig2b|fig3|fig3n20|large|lowfreq|rates|vsopt|engine|bounds|mutable|budget|multiapp|all> [--seeds K] [--out DIR]".to_string()
+}
+
+fn run_one(id: &str, seeds: u64) -> Result<Vec<Table>, String> {
+    Ok(match id {
+        "table1" => experiments::table1(),
+        "fig2a" => experiments::fig2(0.9, seeds),
+        "fig2b" => experiments::fig2(1.7, seeds),
+        "fig3" => experiments::fig3(60, seeds),
+        "fig3n20" => experiments::fig3(20, seeds),
+        "large" => experiments::large_objects(seeds),
+        "lowfreq" => experiments::low_frequency(seeds),
+        "rates" => experiments::rate_sweep(seeds),
+        "vsopt" => experiments::vs_optimal(seeds.min(5)),
+        "engine" => experiments::engine_validation(seeds.min(5)),
+        "bounds" => experiments::bounds_check(seeds.min(5)),
+        "mutable" => experiments::mutable_rewriting(seeds),
+        "budget" => experiments::budget_sweep(seeds.min(5)),
+        "multiapp" => experiments::multi_application(seeds.min(5)),
+        other => return Err(format!("unknown experiment {other}\n{}", usage())),
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let ids: Vec<&str> = if args.experiment == "all" {
+        vec![
+            "table1", "fig2a", "fig2b", "fig3", "fig3n20", "large", "lowfreq",
+            "rates", "vsopt", "engine", "bounds", "mutable", "budget", "multiapp",
+        ]
+    } else {
+        vec![args.experiment.as_str()]
+    };
+
+    for id in ids {
+        let started = Instant::now();
+        match run_one(id, args.seeds) {
+            Ok(tables) => {
+                for (i, t) in tables.iter().enumerate() {
+                    println!("{}", t.render());
+                    let file = if tables.len() == 1 {
+                        format!("{id}.csv")
+                    } else {
+                        format!("{id}_{i}.csv")
+                    };
+                    let path = args.out_dir.join(file);
+                    if let Err(e) = t.write_csv(&path) {
+                        eprintln!("warning: could not write {}: {e}", path.display());
+                    } else {
+                        println!("[csv] {}", path.display());
+                    }
+                }
+                println!("[{id}] done in {:.1}s\n", started.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Multi-seed, multi-heuristic evaluation of one scenario point, with the
+//! seed loop spread over threads (`std::thread::scope`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snsp_core::heuristics::{all_heuristics, solve, PipelineOptions};
+use snsp_gen::{generate, ScenarioParams, TreeShape};
+
+/// Aggregated outcome of one heuristic at one scenario point.
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // name/runs/mean_procs are read by tests and callers vary
+pub struct HeurStats {
+    /// Heuristic display name.
+    pub name: &'static str,
+    /// Seeds for which a feasible mapping was produced.
+    pub feasible: usize,
+    /// Total seeds attempted.
+    pub runs: usize,
+    /// Mean cost over feasible seeds.
+    pub mean_cost: Option<f64>,
+    /// Mean purchased-processor count over feasible seeds.
+    pub mean_procs: Option<f64>,
+}
+
+impl HeurStats {
+    /// `feasible/runs` as a percentage.
+    #[allow(dead_code)]
+    pub fn feasibility_pct(&self) -> f64 {
+        100.0 * self.feasible as f64 / self.runs.max(1) as f64
+    }
+}
+
+/// Runs every paper heuristic on `seeds` instances of the scenario and
+/// aggregates costs. Each seed gets its own random tree/platform, exactly
+/// like the paper's averaged simulation points.
+pub fn evaluate_point(
+    params: &ScenarioParams,
+    shape: TreeShape,
+    seeds: std::ops::Range<u64>,
+    opts: &PipelineOptions,
+) -> Vec<HeurStats> {
+    let seed_list: Vec<u64> = seeds.collect();
+    let n_heuristics = all_heuristics().len();
+    // per-seed results: cost (None = infeasible) per heuristic.
+    let mut per_seed: Vec<Vec<Option<(u64, usize)>>> = vec![Vec::new(); seed_list.len()];
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(seed_list.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Vec<Option<(u64, usize)>>>> = seed_list
+        .iter()
+        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= seed_list.len() {
+                    break;
+                }
+                let seed = seed_list[i];
+                let inst = generate(params, shape, seed);
+                let mut outcomes = Vec::with_capacity(n_heuristics);
+                for h in all_heuristics() {
+                    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+                    let outcome = solve(h.as_ref(), &inst, &mut rng, opts)
+                        .ok()
+                        .map(|s| (s.cost, s.mapping.proc_count()));
+                    outcomes.push(outcome);
+                }
+                *results[i].lock().unwrap() = outcomes;
+            });
+        }
+    });
+    for (i, slot) in results.into_iter().enumerate() {
+        per_seed[i] = slot.into_inner().unwrap();
+    }
+
+    all_heuristics()
+        .iter()
+        .enumerate()
+        .map(|(h, heur)| {
+            let outcomes: Vec<&(u64, usize)> = per_seed
+                .iter()
+                .filter_map(|seed_res| seed_res.get(h).and_then(|o| o.as_ref()))
+                .collect();
+            let feasible = outcomes.len();
+            let mean = |f: &dyn Fn(&(u64, usize)) -> f64| {
+                (feasible > 0)
+                    .then(|| outcomes.iter().map(|o| f(o)).sum::<f64>() / feasible as f64)
+            };
+            HeurStats {
+                name: heur.name(),
+                feasible,
+                runs: seed_list.len(),
+                mean_cost: mean(&|o| o.0 as f64),
+                mean_procs: mean(&|o| o.1 as f64),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_point_reports_all_heuristics() {
+        let params = ScenarioParams::paper(12, 0.9);
+        let stats = evaluate_point(
+            &params,
+            TreeShape::Random,
+            0..3,
+            &PipelineOptions::default(),
+        );
+        assert_eq!(stats.len(), 6);
+        for s in &stats {
+            assert_eq!(s.runs, 3);
+            assert!(s.feasible <= 3);
+            if s.feasible > 0 {
+                assert!(s.mean_cost.unwrap() >= 7_548.0);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_points_report_zero_feasible() {
+        let params = ScenarioParams::paper(60, 2.5);
+        let stats = evaluate_point(
+            &params,
+            TreeShape::Random,
+            0..2,
+            &PipelineOptions::default(),
+        );
+        for s in &stats {
+            assert_eq!(s.feasible, 0, "{} should be infeasible", s.name);
+            assert!(s.mean_cost.is_none());
+        }
+    }
+}

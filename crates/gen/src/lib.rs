@@ -1,0 +1,28 @@
+//! # snsp-gen — random instances matching the paper's methodology
+//!
+//! Generates the workloads of §5: random full binary operator trees whose
+//! leaves draw from 15 object types, sizes in the "small" (5–30 MB) or
+//! "large" (450–530 MB) range, high (1/2 s) or low (1/50 s) download
+//! frequencies, and the 6-server / Table-1-catalog platform.
+//!
+//! ```
+//! use snsp_gen::{paper_instance, ScenarioParams, TreeShape};
+//!
+//! let inst = paper_instance(60, 0.9, 7);
+//! assert_eq!(inst.tree.len(), 60);
+//!
+//! let custom = snsp_gen::generate(
+//!     &ScenarioParams::paper(20, 1.7).with_replicas(1, 3),
+//!     TreeShape::LeftDeep,
+//!     7,
+//! );
+//! assert!(custom.tree.is_left_deep());
+//! ```
+
+pub mod params;
+pub mod scenario;
+pub mod tree_gen;
+
+pub use params::{Frequency, ScenarioParams, SizeRange};
+pub use scenario::{generate, generate_objects, generate_platform, paper_instance, TreeShape};
+pub use tree_gen::{balanced_tree, left_deep_tree, random_tree};

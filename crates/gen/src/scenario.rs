@@ -1,0 +1,151 @@
+//! Full instance generation from [`ScenarioParams`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use snsp_core::ids::{ServerId, TypeId};
+use snsp_core::instance::Instance;
+use snsp_core::object::{ObjectCatalog, ObjectType};
+use snsp_core::platform::Platform;
+use snsp_core::work::WorkModel;
+
+use crate::params::ScenarioParams;
+use crate::tree_gen::{left_deep_tree, random_tree};
+
+/// Which tree shape to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TreeShape {
+    /// Uniformly random full binary tree (the paper's default).
+    #[default]
+    Random,
+    /// Left-deep chain (Fig. 1(b)).
+    LeftDeep,
+}
+
+/// Draws the 15 object types: each type gets a fixed random size within the
+/// scenario's range and the scenario's frequency.
+pub fn generate_objects<R: Rng + ?Sized>(
+    params: &ScenarioParams,
+    rng: &mut R,
+) -> ObjectCatalog {
+    let mut cat = ObjectCatalog::new();
+    for _ in 0..params.n_types {
+        let size = rng.gen_range(params.sizes.min..=params.sizes.max);
+        cat.add(ObjectType::new(size, params.freq.0));
+    }
+    cat
+}
+
+/// Builds the paper's platform and distributes the object types over the
+/// servers with the scenario's replication range.
+pub fn generate_platform<R: Rng + ?Sized>(
+    params: &ScenarioParams,
+    rng: &mut R,
+) -> Platform {
+    let mut platform = Platform::paper(params.n_types);
+    platform.servers.truncate(params.n_servers);
+    assert!(
+        params.max_replicas <= params.n_servers,
+        "cannot place more replicas than servers"
+    );
+    for ty in 0..params.n_types {
+        let copies = rng.gen_range(params.min_replicas..=params.max_replicas);
+        // Sample `copies` distinct servers.
+        let mut servers: Vec<usize> = (0..params.n_servers).collect();
+        for c in 0..copies {
+            let pick = rng.gen_range(c..servers.len());
+            servers.swap(c, pick);
+            platform
+                .placement
+                .add_holder(TypeId::from(ty), ServerId::from(servers[c]));
+        }
+    }
+    platform
+}
+
+/// Generates one complete, validated instance for a seed.
+pub fn generate(params: &ScenarioParams, shape: TreeShape, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects = generate_objects(params, &mut rng);
+    let mut tree = match shape {
+        TreeShape::Random => random_tree(params.n_ops, &objects, &mut rng),
+        TreeShape::LeftDeep => left_deep_tree(params.n_ops, &objects, &mut rng),
+    };
+    tree.apply_work_model(&objects, &WorkModel::new(params.alpha, params.kappa));
+    let platform = generate_platform(params, &mut rng);
+    Instance::new(tree, objects, platform, params.rho)
+        .expect("generated instances always validate")
+}
+
+/// Convenience: the paper's baseline scenario at `(n_ops, alpha)`.
+pub fn paper_instance(n_ops: usize, alpha: f64, seed: u64) -> Instance {
+    generate(&ScenarioParams::paper(n_ops, alpha), TreeShape::Random, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Frequency, SizeRange};
+
+    #[test]
+    fn generated_instance_validates() {
+        let inst = paper_instance(60, 1.7, 0);
+        assert!(inst.validate().is_ok());
+        assert_eq!(inst.tree.len(), 60);
+        assert_eq!(inst.objects.len(), 15);
+        assert_eq!(inst.platform.servers.len(), 6);
+    }
+
+    #[test]
+    fn sizes_respect_the_range() {
+        let params = ScenarioParams::paper(10, 0.9).with_sizes(SizeRange::LARGE);
+        let inst = generate(&params, TreeShape::Random, 3);
+        for (_, ty) in inst.objects.iter() {
+            assert!(ty.size_mb >= 450.0 && ty.size_mb <= 530.0);
+        }
+    }
+
+    #[test]
+    fn frequency_applies_to_every_type() {
+        let params = ScenarioParams::paper(10, 0.9).with_freq(Frequency::LOW);
+        let inst = generate(&params, TreeShape::Random, 4);
+        for (_, ty) in inst.objects.iter() {
+            assert!((ty.freq_hz - 0.02).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn replication_respects_bounds_and_distinct_servers() {
+        let params = ScenarioParams::paper(10, 0.9).with_replicas(2, 4);
+        let inst = generate(&params, TreeShape::Random, 5);
+        for ty in 0..inst.objects.len() {
+            let holders = inst.platform.placement.holders(TypeId::from(ty));
+            assert!(holders.len() >= 2 && holders.len() <= 4);
+            let mut sorted = holders.to_vec();
+            sorted.dedup();
+            assert_eq!(sorted.len(), holders.len(), "holders must be distinct");
+        }
+    }
+
+    #[test]
+    fn left_deep_shape_is_honored() {
+        let params = ScenarioParams::paper(12, 0.9);
+        let inst = generate(&params, TreeShape::LeftDeep, 6);
+        assert!(inst.tree.is_left_deep());
+    }
+
+    #[test]
+    fn seeds_are_reproducible() {
+        let a = paper_instance(30, 1.1, 42);
+        let b = paper_instance(30, 1.1, 42);
+        for op in a.tree.ops() {
+            assert_eq!(a.tree.work(op), b.tree.work(op));
+        }
+        for ty in a.objects.ids() {
+            assert_eq!(
+                a.platform.placement.holders(ty),
+                b.platform.placement.holders(ty)
+            );
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Random operator-tree generators.
+//!
+//! The paper's simulations use "randomly generated binary operator trees
+//! with at most N operators" whose leaves are all basic objects drawn from
+//! 15 types. [`random_tree`] grows a full binary tree by repeatedly
+//! expanding a uniformly random open slot; [`left_deep_tree`] builds the
+//! Fig. 1(b) chain shape used in the complexity proof; [`balanced_tree`]
+//! gives the minimum-height shape for stress tests.
+
+use rand::Rng;
+
+use snsp_core::ids::{OpId, TypeId};
+use snsp_core::object::ObjectCatalog;
+use snsp_core::tree::{OperatorTree, TreeBuilder};
+
+/// Grows a uniformly random full binary tree with exactly `n_ops`
+/// operators; every remaining open slot becomes a basic-object leaf with a
+/// type drawn uniformly from `objects`.
+pub fn random_tree<R: Rng + ?Sized>(
+    n_ops: usize,
+    objects: &ObjectCatalog,
+    rng: &mut R,
+) -> OperatorTree {
+    assert!(n_ops >= 1, "a tree needs at least one operator");
+    assert!(!objects.is_empty(), "need at least one object type");
+    let mut b = TreeBuilder::new();
+    let root = b.add_root();
+    // (operator, free slots) — a fresh operator has two free slots.
+    let mut open: Vec<(OpId, usize)> = vec![(root, 2)];
+    while b.len() < n_ops {
+        let i = rng.gen_range(0..open.len());
+        let (parent, slots) = open[i];
+        let child = b.add_child(parent).expect("slot was free");
+        if slots == 1 {
+            open.swap_remove(i);
+        } else {
+            open[i].1 = 1;
+        }
+        open.push((child, 2));
+    }
+    for (op, slots) in open {
+        for _ in 0..slots {
+            let ty = TypeId::from(rng.gen_range(0..objects.len()));
+            b.add_leaf(op, ty).expect("slot was free");
+        }
+    }
+    b.finish().expect("builder is rooted")
+}
+
+/// Builds a left-deep chain (paper Fig. 1(b)): every operator has one
+/// operator child and one leaf, except the deepest which has two leaves.
+pub fn left_deep_tree<R: Rng + ?Sized>(
+    n_ops: usize,
+    objects: &ObjectCatalog,
+    rng: &mut R,
+) -> OperatorTree {
+    assert!(n_ops >= 1);
+    assert!(!objects.is_empty());
+    let mut b = TreeBuilder::new();
+    let rand_ty = |rng: &mut R| TypeId::from(rng.gen_range(0..objects.len()));
+    let mut cur = b.add_root();
+    for _ in 1..n_ops {
+        let next = b.add_child(cur).unwrap();
+        b.add_leaf(cur, rand_ty(rng)).unwrap();
+        cur = next;
+    }
+    b.add_leaf(cur, rand_ty(rng)).unwrap();
+    b.add_leaf(cur, rand_ty(rng)).unwrap();
+    b.finish().unwrap()
+}
+
+/// Builds a height-balanced full binary tree with `n_ops` operators.
+pub fn balanced_tree<R: Rng + ?Sized>(
+    n_ops: usize,
+    objects: &ObjectCatalog,
+    rng: &mut R,
+) -> OperatorTree {
+    assert!(n_ops >= 1);
+    assert!(!objects.is_empty());
+    let mut b = TreeBuilder::new();
+    let root = b.add_root();
+    // Breadth-first expansion keeps the tree balanced.
+    let mut frontier = std::collections::VecDeque::from([root]);
+    while b.len() < n_ops {
+        let parent = *frontier.front().unwrap();
+        if b.free_slots(parent) == 0 {
+            frontier.pop_front();
+            continue;
+        }
+        let child = b.add_child(parent).unwrap();
+        frontier.push_back(child);
+    }
+    // Fill every remaining slot with leaves.
+    for op in 0..b.len() {
+        let op = OpId::from(op);
+        while b.free_slots(op) > 0 {
+            let ty = TypeId::from(rng.gen_range(0..objects.len()));
+            b.add_leaf(op, ty).unwrap();
+        }
+    }
+    b.finish().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snsp_core::object::ObjectType;
+
+    fn objects() -> ObjectCatalog {
+        let mut cat = ObjectCatalog::new();
+        for i in 0..15 {
+            cat.add(ObjectType::new(5.0 + i as f64, 0.5));
+        }
+        cat
+    }
+
+    #[test]
+    fn random_tree_is_full_binary() {
+        let cat = objects();
+        let mut rng = StdRng::seed_from_u64(0);
+        for n in [1, 2, 7, 40, 140] {
+            let tree = random_tree(n, &cat, &mut rng);
+            assert_eq!(tree.len(), n);
+            assert!(tree.validate(&cat).is_ok());
+            // Full binary: every operator has exactly two slots filled.
+            for op in tree.ops() {
+                assert_eq!(tree.node(op).arity(), 2, "operator {op} in N={n}");
+            }
+            assert_eq!(tree.leaf_count(), n + 1);
+        }
+    }
+
+    #[test]
+    fn left_deep_tree_shape() {
+        let cat = objects();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = left_deep_tree(10, &cat, &mut rng);
+        assert_eq!(tree.len(), 10);
+        assert!(tree.is_left_deep());
+        assert_eq!(tree.height(), 9);
+        assert_eq!(tree.leaf_count(), 11);
+        assert!(tree.validate(&cat).is_ok());
+        // Every operator is an al-operator in a left-deep tree.
+        assert_eq!(tree.al_operators().count(), 10);
+    }
+
+    #[test]
+    fn balanced_tree_is_shallow() {
+        let cat = objects();
+        let mut rng = StdRng::seed_from_u64(2);
+        let tree = balanced_tree(31, &cat, &mut rng);
+        assert_eq!(tree.len(), 31);
+        assert!(tree.validate(&cat).is_ok());
+        assert_eq!(tree.height(), 4); // perfect tree of 31 nodes
+        assert_eq!(tree.leaf_count(), 32);
+    }
+
+    #[test]
+    fn random_trees_vary_with_seed() {
+        let cat = objects();
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(4);
+        let ta = random_tree(30, &cat, &mut a);
+        let tb = random_tree(30, &cat, &mut b);
+        let ha = ta.height();
+        let hb = tb.height();
+        let la: Vec<_> = ta.ops().map(|o| ta.leaf_types(o).to_vec()).collect();
+        let lb: Vec<_> = tb.ops().map(|o| tb.leaf_types(o).to_vec()).collect();
+        assert!(ha != hb || la != lb, "different seeds should differ");
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let cat = objects();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let ta = random_tree(30, &cat, &mut a);
+        let tb = random_tree(30, &cat, &mut b);
+        for (x, y) in ta.ops().zip(tb.ops()) {
+            assert_eq!(ta.leaf_types(x), tb.leaf_types(y));
+            assert_eq!(ta.children(x), tb.children(y));
+        }
+    }
+}

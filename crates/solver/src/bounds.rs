@@ -1,0 +1,94 @@
+//! Analytic lower bounds on the optimal platform cost.
+//!
+//! These bounds are cheap to compute, valid for every instance, and used
+//! both to assess heuristic quality (EXPERIMENTS.md) and to prune the
+//! branch-and-bound search.
+
+use snsp_core::instance::Instance;
+
+/// A cost lower bound with a breakdown of its three components.
+#[derive(Debug, Clone, Copy)]
+pub struct LowerBound {
+    /// At least one processor must be bought.
+    pub chassis: u64,
+    /// CPU bound: total work `ρ·Σw_i` must fit in purchased speed, priced
+    /// at the catalog's best speed-per-dollar.
+    pub cpu: u64,
+    /// Bandwidth bound: every *used* object type must be downloaded at
+    /// least once, priced at the best bandwidth-per-dollar.
+    pub bandwidth: u64,
+}
+
+impl LowerBound {
+    /// The combined bound: the maximum of the three components.
+    pub fn value(&self) -> u64 {
+        self.chassis.max(self.cpu).max(self.bandwidth)
+    }
+}
+
+/// Computes the lower bound for `inst`.
+///
+/// Soundness arguments:
+/// * `chassis`: any feasible mapping buys ≥ 1 processor, each costing at
+///   least the cheapest kind.
+/// * `cpu`: constraint (1) summed over processors gives
+///   `ρ·Σw_i ≤ Σ_u s_u`; a dollar buys at most `best_speed_per_dollar`
+///   Gop/s, so cost ≥ ρ·Σw / best_ratio.
+/// * `bandwidth`: each object type used by the tree is downloaded by at
+///   least one processor (constraint coverage), so the purchased NIC
+///   bandwidth is at least `Σ_ty rate_ty`; a dollar buys at most
+///   `best_bandwidth_per_dollar` MB/s. Cut-edge traffic only adds to this,
+///   so ignoring it keeps the bound valid.
+pub fn lower_bound(inst: &Instance) -> LowerBound {
+    let catalog = &inst.platform.catalog;
+    let cheapest = catalog.kind(catalog.cheapest()).cost;
+
+    let total_work = inst.rho * inst.tree.total_work();
+    let cpu = (total_work / catalog.best_speed_per_dollar()).ceil() as u64;
+
+    let total_dl: f64 = inst
+        .tree
+        .used_types()
+        .into_iter()
+        .map(|ty| inst.object_rate(ty))
+        .sum();
+    let bandwidth = (total_dl / catalog.best_bandwidth_per_dollar()).ceil() as u64;
+
+    LowerBound { chassis: cheapest, cpu, bandwidth }
+}
+
+/// Minimum number of processors any feasible mapping needs, from the CPU
+/// side: `ceil(ρ·Σw_i / max_speed)`.
+pub fn min_processors(inst: &Instance) -> usize {
+    let total = inst.rho * inst.tree.total_work();
+    let per_proc = inst.platform.catalog.max_speed();
+    (total / per_proc).ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snsp_gen::paper_instance;
+
+    #[test]
+    fn bound_is_at_least_one_chassis() {
+        let inst = paper_instance(20, 0.9, 0);
+        let lb = lower_bound(&inst);
+        assert!(lb.value() >= 7_548);
+    }
+
+    #[test]
+    fn cpu_component_grows_with_alpha() {
+        let light = lower_bound(&paper_instance(60, 0.9, 1));
+        let heavy = lower_bound(&paper_instance(60, 1.8, 1));
+        assert!(heavy.cpu > light.cpu);
+    }
+
+    #[test]
+    fn min_processors_is_positive_and_monotone_in_alpha() {
+        let light = min_processors(&paper_instance(60, 0.9, 2));
+        let heavy = min_processors(&paper_instance(60, 1.9, 2));
+        assert!(light >= 1);
+        assert!(heavy >= light);
+    }
+}

@@ -1,0 +1,125 @@
+//! The inverse problem: given a **budget**, what is the highest steady-
+//! state throughput the application can be provisioned for?
+//!
+//! The paper fixes ρ and minimizes cost; practitioners often face the
+//! dual. Feasible cost is monotone non-decreasing in ρ (a platform
+//! sustaining ρ sustains every ρ′ < ρ), so a bisection over ρ against any
+//! placement heuristic answers the dual question to arbitrary precision.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snsp_core::heuristics::{solve, Heuristic, PipelineOptions, Solution};
+use snsp_core::instance::Instance;
+
+/// Result of the budgeted-throughput search.
+#[derive(Debug, Clone)]
+pub struct BudgetResult {
+    /// Highest throughput for which `heuristic` found a mapping within
+    /// budget.
+    pub rho: f64,
+    /// The mapping at that throughput.
+    pub solution: Solution,
+}
+
+/// Finds (by doubling + bisection) the largest ρ such that `heuristic`
+/// produces a mapping costing at most `budget`. Returns `None` when even
+/// an arbitrarily small ρ is unaffordable (e.g. the downloads alone
+/// exceed every NIC, or the budget is below one chassis).
+///
+/// `rel_tol` is the relative ρ precision of the bisection (e.g. `0.01`).
+pub fn max_throughput_under_budget(
+    inst: &Instance,
+    heuristic: &dyn Heuristic,
+    budget: u64,
+    rel_tol: f64,
+    seed: u64,
+) -> Option<BudgetResult> {
+    assert!(rel_tol > 0.0 && rel_tol < 1.0, "rel_tol in (0,1)");
+    let attempt = |rho: f64| -> Option<Solution> {
+        let mut scaled = inst.clone();
+        scaled.rho = rho;
+        let mut rng = StdRng::seed_from_u64(seed);
+        solve(heuristic, &scaled, &mut rng, &PipelineOptions::default())
+            .ok()
+            .filter(|s| s.cost <= budget)
+    };
+
+    // Establish a feasible low point; downloads are ρ-independent, so if
+    // a tiny ρ fails the instance is hopeless under this budget.
+    let mut lo = inst.rho.min(1e-3);
+    let mut best = attempt(lo)?;
+
+    // Exponential growth until infeasible/unaffordable.
+    let mut hi = lo * 2.0;
+    while let Some(sol) = attempt(hi) {
+        best = sol;
+        lo = hi;
+        hi *= 2.0;
+        if hi > 1e9 {
+            // Effectively unbounded (cannot happen with positive work).
+            return Some(BudgetResult { rho: lo, solution: best });
+        }
+    }
+
+    // Bisection on (lo feasible, hi infeasible).
+    while hi - lo > rel_tol * hi {
+        let mid = 0.5 * (lo + hi);
+        match attempt(mid) {
+            Some(sol) => {
+                best = sol;
+                lo = mid;
+            }
+            None => hi = mid,
+        }
+    }
+    Some(BudgetResult { rho: lo, solution: best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snsp_core::heuristics::SubtreeBottomUp;
+    use snsp_gen::paper_instance;
+
+    #[test]
+    fn bigger_budgets_buy_at_least_as_much_throughput() {
+        let inst = paper_instance(15, 1.2, 3);
+        let small = max_throughput_under_budget(&inst, &SubtreeBottomUp, 10_000, 0.01, 0)
+            .expect("one chassis affordable");
+        let large = max_throughput_under_budget(&inst, &SubtreeBottomUp, 100_000, 0.01, 0)
+            .expect("ten chassis affordable");
+        assert!(large.rho >= small.rho * 0.99, "{} < {}", large.rho, small.rho);
+        assert!(small.solution.cost <= 10_000);
+        assert!(large.solution.cost <= 100_000);
+    }
+
+    #[test]
+    fn result_is_consistent_with_forward_solve() {
+        let inst = paper_instance(12, 1.0, 5);
+        let res = max_throughput_under_budget(&inst, &SubtreeBottomUp, 20_000, 0.02, 0)
+            .expect("affordable");
+        // Re-solving at the reported ρ must stay within budget.
+        let mut scaled = inst.clone();
+        scaled.rho = res.rho;
+        let mut rng = StdRng::seed_from_u64(0);
+        let sol = solve(
+            &SubtreeBottomUp,
+            &scaled,
+            &mut rng,
+            &PipelineOptions::default(),
+        )
+        .expect("feasible at reported rho");
+        assert!(sol.cost <= 20_000);
+        assert!(snsp_core::is_feasible(&scaled, &res.solution.mapping));
+    }
+
+    #[test]
+    fn hopeless_budget_returns_none() {
+        let inst = paper_instance(10, 0.9, 7);
+        assert!(
+            max_throughput_under_budget(&inst, &SubtreeBottomUp, 100, 0.01, 0).is_none(),
+            "a $100 budget cannot buy a $7,548 chassis"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Quickstart: build a small application by hand, buy processors, map the
+//! operators, verify the constraints, and run the mapping in the engine.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use snsp::core::report;
+use snsp::prelude::*;
+
+fn main() {
+    // -- 1. Basic objects: a 10 MB sensor frame and a 25 MB reference
+    //       image, both refreshed every 2 seconds.
+    let mut objects = ObjectCatalog::new();
+    let frame = objects.add(ObjectType::new(10.0, 0.5));
+    let reference = objects.add(ObjectType::new(25.0, 0.5));
+
+    // -- 2. The operator tree (paper Fig. 1(a) flavor):
+    //
+    //            combine
+    //            /     \
+    //        filter    match
+    //        /   \     /   \
+    //     frame frame ref  frame
+    let mut b = OperatorTree::builder();
+    let combine = b.add_root();
+    let filter = b.add_child(combine).unwrap();
+    let matcher = b.add_child(combine).unwrap();
+    b.add_leaf(filter, frame).unwrap();
+    b.add_leaf(filter, frame).unwrap();
+    b.add_leaf(matcher, reference).unwrap();
+    b.add_leaf(matcher, frame).unwrap();
+    let mut tree = b.finish().unwrap();
+
+    // Work model: w_i = κ (δ_l + δ_r)^α with the paper's calibration.
+    tree.apply_work_model(&objects, &WorkModel::paper(1.2));
+
+    // -- 3. Platform: the paper's 6 data servers; the frame lives on two
+    //       servers (replicated), the reference on one.
+    let mut platform = Platform::paper(2);
+    platform.placement.add_holder(frame, ServerId(0));
+    platform.placement.add_holder(frame, ServerId(3));
+    platform.placement.add_holder(reference, ServerId(1));
+
+    // -- 4. One result per second, please.
+    let inst = Instance::new(tree, objects, platform, 1.0).expect("valid instance");
+
+    // -- 5. Run every paper heuristic and keep the cheapest mapping.
+    let mut best: Option<Solution> = None;
+    for h in all_heuristics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        match solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default()) {
+            Ok(sol) => {
+                println!("{:<20} ${}", h.name(), sol.cost);
+                if best.as_ref().map_or(true, |b| sol.cost < b.cost) {
+                    best = Some(sol);
+                }
+            }
+            Err(e) => println!("{:<20} failed: {e}", h.name()),
+        }
+    }
+    let best = best.expect("at least one heuristic succeeds");
+    println!("\nBest: {} — detailed allocation:", best.heuristic);
+    print!("{}", report::describe(&inst, &best.mapping));
+
+    // -- 6. Sanity: the constraint checker and the engine agree.
+    assert!(is_feasible(&inst, &best.mapping));
+    let sim = simulate(&inst, &best.mapping, &SimConfig::default()).unwrap();
+    println!(
+        "engine: achieved {:.2} results/s over {} results ({} events)",
+        sim.achieved_throughput,
+        sim.completion_times.len(),
+        sim.events
+    );
+    assert!(sim.achieved_throughput >= inst.rho * 0.95);
+
+    // -- 7. And the exact optimum for this toy instance:
+    let exact = solve_exact(&inst, &BranchBoundConfig::default());
+    println!(
+        "exact optimum: ${} (search visited {} nodes, optimal = {})",
+        exact.cost, exact.nodes, exact.optimal
+    );
+    assert!(exact.cost <= best.cost);
+}

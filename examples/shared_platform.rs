@@ -1,0 +1,109 @@
+//! Extensions tour (the paper's future-work directions, implemented):
+//!
+//! 1. **Mutable applications** — rewrite an operator tree under
+//!    associativity/commutativity and watch the platform get cheaper.
+//! 2. **Multiple applications** — place several trees jointly on one
+//!    shared platform, reusing common object downloads.
+//! 3. **Budgeted throughput** — the inverse problem: how fast can we go
+//!    for a fixed budget?
+//!
+//! Run with: `cargo run --release --example shared_platform`
+
+use snsp::prelude::*;
+
+fn main() {
+    // ---------------------------------------------------------------
+    // 1. Mutable applications: same leaves, better shape.
+    // ---------------------------------------------------------------
+    let inst = paper_instance(60, 1.7, 3);
+    let model = WorkModel::paper(1.7);
+    println!("original tree: Σδ = {:.0} MB", snsp::core::rewrite::total_intermediate_size(&inst.tree));
+
+    let mut best_shape = None;
+    for strategy in [
+        RewriteStrategy::LeftDeep,
+        RewriteStrategy::Balanced,
+        RewriteStrategy::HuffmanBySize,
+    ] {
+        let tree = rewrite(&inst.tree, &inst.objects, &model, strategy);
+        let variant = Instance::new(
+            tree,
+            inst.objects.clone(),
+            inst.platform.clone(),
+            inst.rho,
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cost: Option<u64> =
+            solve(&SubtreeBottomUp, &variant, &mut rng, &PipelineOptions::default())
+                .ok()
+                .map(|s| s.cost);
+        println!(
+            "  {strategy:?}: Σδ = {:.0} MB, cost = {}",
+            snsp::core::rewrite::total_intermediate_size(&variant.tree),
+            cost.map_or("infeasible".into(), |c| format!("${c}")),
+        );
+        if let Some(c) = cost {
+            let entry = best_shape.get_or_insert((strategy, c));
+            if c < entry.1 {
+                *entry = (strategy, c);
+            }
+        }
+    }
+    if let Some((strategy, cost)) = best_shape {
+        println!("  → best shape: {strategy:?} at ${cost}\n");
+    }
+
+    // ---------------------------------------------------------------
+    // 2. Multiple applications sharing one platform.
+    // ---------------------------------------------------------------
+    let base = paper_instance(20, 1.2, 1);
+    let mut apps = Vec::new();
+    for k in 0..3u64 {
+        let donor = paper_instance(20, 1.2, 100 + k);
+        apps.push(
+            Instance::new(
+                donor.tree.clone(),
+                base.objects.clone(),
+                base.platform.clone(),
+                1.0,
+            )
+            .unwrap(),
+        );
+    }
+    let mut separate = 0u64;
+    for app in &apps {
+        let mut rng = StdRng::seed_from_u64(0);
+        separate += solve(&SubtreeBottomUp, app, &mut rng, &PipelineOptions::default())
+            .expect("each app alone is feasible")
+            .cost;
+    }
+    let multi = MultiInstance::new(apps).unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    let joint = solve_joint(&multi, &SubtreeBottomUp, &mut rng, &PipelineOptions::default())
+        .expect("joint placement feasible");
+    println!("three 20-operator applications:");
+    println!("  separate platforms: ${separate}");
+    println!(
+        "  one shared platform: ${} ({} processors) — {:.0}% saved\n",
+        joint.cost,
+        joint.proc_kinds.len(),
+        100.0 * (1.0 - joint.cost as f64 / separate as f64)
+    );
+    assert!(joint.cost <= separate);
+
+    // ---------------------------------------------------------------
+    // 3. Budgeted throughput.
+    // ---------------------------------------------------------------
+    let inst = paper_instance(40, 1.3, 2);
+    println!("budget → max sustainable throughput (N = 40, α = 1.3):");
+    for budget in [8_000u64, 20_000, 60_000] {
+        match max_throughput_under_budget(&inst, &SubtreeBottomUp, budget, 0.02, 0) {
+            Some(res) => println!(
+                "  ${budget:>6} → ρ = {:.2} results/s (spending ${})",
+                res.rho, res.solution.cost
+            ),
+            None => println!("  ${budget:>6} → nothing affordable"),
+        }
+    }
+}

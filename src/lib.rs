@@ -1,0 +1,72 @@
+//! # snsp — constructive in-network stream processing
+//!
+//! A full reproduction of *"Resource Allocation Strategies for Constructive
+//! In-Network Stream Processing"* (Benoit, Casanova, Rehn-Sonigo, Robert —
+//! IPDPS 2009 / APDCM): given an application expressed as a binary tree of
+//! operators over continuously-updated basic objects, **buy** processors
+//! from a CPU/NIC price catalog and map the operators onto them so that a
+//! target steady-state throughput ρ is guaranteed, at minimum platform
+//! cost.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`](snsp_core) — models, the paper's constraints (1)–(5), the six
+//!   placement heuristics, server selection and the downgrade pass;
+//! * [`gen`](snsp_gen) — random workloads following the paper's §5
+//!   methodology;
+//! * [`solver`](snsp_solver) — the ILP formulation, an exact
+//!   branch-and-bound, and analytic lower bounds;
+//! * [`engine`](snsp_engine) — a discrete-event steady-state engine that
+//!   executes mappings and measures their achieved throughput.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use snsp::prelude::*;
+//!
+//! // A random 30-operator application at the paper's baseline settings.
+//! let inst = snsp::gen::paper_instance(30, 0.9, 42);
+//!
+//! // Map it with the paper's winning heuristic.
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let sol = solve(&SubtreeBottomUp, &inst, &mut rng, &PipelineOptions::default()).unwrap();
+//! assert!(is_feasible(&inst, &sol.mapping));
+//!
+//! // Execute it: the engine must sustain the target throughput.
+//! let report = simulate(&inst, &sol.mapping, &SimConfig::default()).unwrap();
+//! assert!(report.achieved_throughput >= inst.rho * 0.95);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (video surveillance, network
+//! monitoring, cloud budget planning) and `crates/experiments` for the
+//! harness regenerating every figure of the paper.
+
+pub use snsp_core as core;
+pub use snsp_engine as engine;
+pub use snsp_gen as gen;
+pub use snsp_solver as solver;
+
+/// Everything a typical user needs in scope.
+pub mod prelude {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+    pub use snsp_core::constraints::{check, is_feasible, max_throughput};
+    pub use snsp_core::heuristics::{
+        all_heuristics, solve, CommGreedy, CompGreedy, Heuristic, ObjectAvailability,
+        ObjectGrouping, PipelineOptions, Random, Solution, SubtreeBottomUp,
+    };
+    pub use snsp_core::ids::{OpId, ProcId, ServerId, TypeId};
+    pub use snsp_core::instance::Instance;
+    pub use snsp_core::mapping::{Download, Mapping};
+    pub use snsp_core::multi::{solve_joint, MultiInstance, MultiSolution};
+    pub use snsp_core::object::{ObjectCatalog, ObjectType};
+    pub use snsp_core::rewrite::{rewrite, RewriteStrategy};
+    pub use snsp_core::platform::{Catalog, Platform, ProcessorKind, Server};
+    pub use snsp_core::tree::OperatorTree;
+    pub use snsp_core::work::WorkModel;
+    pub use snsp_engine::{simulate, SimConfig};
+    pub use snsp_gen::{paper_instance, ScenarioParams, TreeShape};
+    pub use snsp_solver::{
+        lower_bound, max_throughput_under_budget, solve_exact, BranchBoundConfig,
+    };
+}

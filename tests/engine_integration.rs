@@ -1,0 +1,116 @@
+//! The discrete-event engine as the arbiter: every mapping the placement
+//! pipeline declares feasible must actually sustain ρ when executed, and
+//! can never beat the analytic throughput bound.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snsp::prelude::*;
+
+/// Window-bias tolerance: operators may run `buffer` results ahead of the
+/// root at both window edges (see `snsp_engine::SimConfig`).
+const TOL: f64 = 1.05;
+
+#[test]
+fn all_heuristics_sustain_rho_in_the_engine() {
+    for seed in 0..3u64 {
+        let inst = paper_instance(25, 1.1, seed);
+        for h in all_heuristics() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let Ok(sol) = solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default())
+            else {
+                continue;
+            };
+            let report = simulate(&inst, &sol.mapping, &SimConfig::default())
+                .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", h.name()));
+            assert!(
+                report.achieved_throughput >= inst.rho * 0.95,
+                "{} seed {seed}: {:.3} < ρ",
+                h.name(),
+                report.achieved_throughput
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_respects_the_analytic_bound() {
+    for seed in 0..3u64 {
+        let inst = paper_instance(30, 0.9, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sol = solve(&CompGreedy, &inst, &mut rng, &PipelineOptions::default()).unwrap();
+        let bound = max_throughput(&inst, &sol.mapping);
+        let report = simulate(&inst, &sol.mapping, &SimConfig::default()).unwrap();
+        assert!(
+            report.achieved_throughput <= bound * TOL,
+            "seed {seed}: measured {:.3} > bound {:.3}",
+            report.achieved_throughput,
+            bound
+        );
+    }
+}
+
+#[test]
+fn left_deep_chains_pipeline_correctly() {
+    let inst = snsp_gen::generate(
+        &ScenarioParams::paper(20, 1.0),
+        TreeShape::LeftDeep,
+        5,
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let sol = solve(&SubtreeBottomUp, &inst, &mut rng, &PipelineOptions::default()).unwrap();
+    let report = simulate(&inst, &sol.mapping, &SimConfig::default()).unwrap();
+    assert!(report.achieved_throughput >= inst.rho * 0.95);
+    // Completion times must be strictly increasing past warm-up.
+    let times = &report.completion_times;
+    assert!(times.windows(2).all(|w| w[1] >= w[0]));
+}
+
+#[test]
+fn bigger_buffers_never_slow_the_pipeline() {
+    let inst = paper_instance(25, 1.2, 6);
+    let mut rng = StdRng::seed_from_u64(6);
+    let sol = solve(&CommGreedy, &inst, &mut rng, &PipelineOptions::default()).unwrap();
+    let shallow = simulate(
+        &inst,
+        &sol.mapping,
+        &SimConfig { buffer: 1, ..Default::default() },
+    )
+    .unwrap();
+    let deep = simulate(
+        &inst,
+        &sol.mapping,
+        &SimConfig { buffer: 8, ..Default::default() },
+    )
+    .unwrap();
+    assert!(
+        deep.achieved_throughput >= shallow.achieved_throughput * 0.99,
+        "deep {:.3} < shallow {:.3}",
+        deep.achieved_throughput,
+        shallow.achieved_throughput
+    );
+}
+
+#[test]
+fn single_operator_application_runs_at_cpu_speed() {
+    // One operator, two objects, one processor: throughput = s/w exactly.
+    let inst = paper_instance(1, 1.0, 7);
+    let mut rng = StdRng::seed_from_u64(7);
+    let sol = solve(&CompGreedy, &inst, &mut rng, &PipelineOptions::default()).unwrap();
+    let kind = inst
+        .platform
+        .catalog
+        .kind(sol.mapping.proc_kinds[0]);
+    let expected = kind.speed / inst.tree.work(inst.tree.root());
+    let report = simulate(&inst, &sol.mapping, &SimConfig::default()).unwrap();
+    let rel = (report.achieved_throughput - expected).abs() / expected;
+    assert!(rel < 0.02, "measured {} vs expected {expected}", report.achieved_throughput);
+}
+
+#[test]
+fn exact_solver_mappings_also_run() {
+    let inst = paper_instance(8, 1.2, 8);
+    let exact = solve_exact(&inst, &BranchBoundConfig::default());
+    let mapping = exact.mapping.expect("feasible");
+    let report = simulate(&inst, &mapping, &SimConfig::default()).unwrap();
+    assert!(report.achieved_throughput >= inst.rho * 0.95);
+}

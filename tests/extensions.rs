@@ -1,0 +1,155 @@
+//! Integration tests for the future-work extensions: tree rewriting,
+//! multi-application placement and budgeted throughput.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snsp::prelude::*;
+use snsp_core::rewrite::total_intermediate_size;
+
+#[test]
+fn huffman_rewrite_never_increases_intermediate_traffic() {
+    for seed in 0..5u64 {
+        let inst = paper_instance(40, 1.5, seed);
+        let model = WorkModel::paper(1.5);
+        let huffman = rewrite(
+            &inst.tree,
+            &inst.objects,
+            &model,
+            RewriteStrategy::HuffmanBySize,
+        );
+        assert!(
+            total_intermediate_size(&huffman)
+                <= total_intermediate_size(&inst.tree) + 1e-6,
+            "seed {seed}"
+        );
+        // The rewritten tree is a valid instance over the same platform.
+        let variant = Instance::new(
+            huffman,
+            inst.objects.clone(),
+            inst.platform.clone(),
+            inst.rho,
+        )
+        .unwrap();
+        assert!(variant.validate().is_ok());
+    }
+}
+
+#[test]
+fn rewritten_instances_map_feasibly_when_the_original_does() {
+    for seed in 0..3u64 {
+        let inst = paper_instance(30, 1.5, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Ok(original) =
+            solve(&SubtreeBottomUp, &inst, &mut rng, &PipelineOptions::default())
+        else {
+            continue;
+        };
+        let model = WorkModel::paper(1.5);
+        let huffman = rewrite(
+            &inst.tree,
+            &inst.objects,
+            &model,
+            RewriteStrategy::HuffmanBySize,
+        );
+        let variant =
+            Instance::new(huffman, inst.objects.clone(), inst.platform.clone(), inst.rho)
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rewritten =
+            solve(&SubtreeBottomUp, &variant, &mut rng, &PipelineOptions::default())
+                .expect("huffman shape is easier, never harder");
+        assert!(is_feasible(&variant, &rewritten.mapping));
+        // Not asserted ≤ in general (heuristic noise), but it should
+        // never be catastrophically worse.
+        assert!(rewritten.cost <= original.cost * 3);
+    }
+}
+
+#[test]
+fn rewritten_mappings_run_in_the_engine() {
+    let inst = paper_instance(25, 1.4, 9);
+    let model = WorkModel::paper(1.4);
+    let tree = rewrite(&inst.tree, &inst.objects, &model, RewriteStrategy::Balanced);
+    let variant =
+        Instance::new(tree, inst.objects.clone(), inst.platform.clone(), 1.0).unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    let sol = solve(&CommGreedy, &variant, &mut rng, &PipelineOptions::default()).unwrap();
+    let report = simulate(&variant, &sol.mapping, &SimConfig::default()).unwrap();
+    assert!(report.achieved_throughput >= 0.95);
+}
+
+fn shared_apps(n_apps: usize, n_ops: usize, seed: u64) -> MultiInstance {
+    let base = paper_instance(n_ops, 1.2, seed);
+    let apps = (0..n_apps as u64)
+        .map(|k| {
+            let donor = paper_instance(n_ops, 1.2, seed * 37 + k + 1);
+            Instance::new(
+                donor.tree.clone(),
+                base.objects.clone(),
+                base.platform.clone(),
+                1.0,
+            )
+            .unwrap()
+        })
+        .collect();
+    MultiInstance::new(apps).unwrap()
+}
+
+#[test]
+fn joint_placement_beats_separate_platforms() {
+    for seed in 1..4u64 {
+        let multi = shared_apps(3, 15, seed);
+        let mut separate = 0u64;
+        for app in &multi.apps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            separate += solve(&SubtreeBottomUp, app, &mut rng, &PipelineOptions::default())
+                .unwrap()
+                .cost;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let joint = solve_joint(&multi, &SubtreeBottomUp, &mut rng, &PipelineOptions::default())
+            .unwrap();
+        assert!(joint.cost <= separate, "seed {seed}: {} > {separate}", joint.cost);
+        // Every app's projection covers its operators and downloads.
+        for k in 0..multi.apps.len() {
+            let mapping = joint.mapping_for(&multi, k);
+            assert_eq!(mapping.assignment.len(), multi.apps[k].tree.len());
+        }
+    }
+}
+
+#[test]
+fn joint_solutions_verify_under_aggregate_constraints() {
+    let multi = shared_apps(4, 12, 2);
+    let mut rng = StdRng::seed_from_u64(2);
+    let joint =
+        solve_joint(&multi, &SubtreeBottomUp, &mut rng, &PipelineOptions::default()).unwrap();
+    assert!(snsp_core::multi::verify_joint(&multi, &joint).is_ok());
+    // Cost bookkeeping is consistent.
+    let recomputed: u64 = joint
+        .proc_kinds
+        .iter()
+        .map(|&k| multi.apps[0].platform.catalog.kind(k).cost)
+        .sum();
+    assert_eq!(joint.cost, recomputed);
+}
+
+#[test]
+fn budget_throughput_is_monotone_in_budget() {
+    let inst = paper_instance(20, 1.2, 4);
+    let mut last = 0.0;
+    for budget in [8_000u64, 25_000, 80_000] {
+        if let Some(res) =
+            max_throughput_under_budget(&inst, &SubtreeBottomUp, budget, 0.02, 0)
+        {
+            assert!(
+                res.rho >= last * 0.98,
+                "budget {budget}: ρ {} < previous {last}",
+                res.rho
+            );
+            assert!(res.solution.cost <= budget);
+            last = res.rho;
+        }
+    }
+    assert!(last > 0.0, "some budget must be serviceable");
+}

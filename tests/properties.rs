@@ -1,0 +1,147 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snsp::prelude::*;
+use snsp_engine::max_min_fair;
+
+proptest! {
+    /// Random full binary trees always validate, have N+1 leaves and a
+    /// children-before-parents post-order.
+    #[test]
+    fn random_trees_are_structurally_sound(n in 1usize..120, seed in 0u64..5000) {
+        let inst = paper_instance(n, 0.9, seed);
+        prop_assert!(inst.tree.validate(&inst.objects).is_ok());
+        prop_assert_eq!(inst.tree.len(), n);
+        prop_assert_eq!(inst.tree.leaf_count(), n + 1);
+        let order = inst.tree.postorder();
+        prop_assert_eq!(order.len(), n);
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &op)| (op, i)).collect();
+        for op in inst.tree.ops() {
+            for &c in inst.tree.children(op) {
+                prop_assert!(pos[&c] < pos[&op]);
+            }
+        }
+    }
+
+    /// Output sizes accumulate: a parent's δ is the sum of its inputs, so
+    /// the root's output equals the total leaf mass.
+    #[test]
+    fn outputs_accumulate_to_leaf_mass(n in 1usize..80, seed in 0u64..2000) {
+        let inst = paper_instance(n, 1.3, seed);
+        let leaf_mass: f64 = inst
+            .tree
+            .ops()
+            .flat_map(|op| inst.tree.leaf_types(op).iter().copied())
+            .map(|ty| inst.objects.size(ty))
+            .sum();
+        let root_out = inst.tree.output(inst.tree.root());
+        prop_assert!((root_out - leaf_mass).abs() < 1e-6 * leaf_mass.max(1.0));
+    }
+
+    /// Work is monotone in α for inputs above 1 MB (always true for the
+    /// paper's ranges).
+    #[test]
+    fn work_monotone_in_alpha(n in 2usize..40, seed in 0u64..500) {
+        let lo = paper_instance(n, 0.9, seed);
+        let hi = paper_instance(n, 1.5, seed);
+        for op in lo.tree.ops() {
+            prop_assert!(lo.tree.work(op) <= hi.tree.work(op) + 1e-12);
+        }
+    }
+
+    /// `max_throughput` is exactly the feasibility boundary: scaling ρ just
+    /// below keeps the mapping feasible, just above breaks it.
+    #[test]
+    fn max_throughput_is_the_feasibility_boundary(seed in 0u64..60) {
+        let inst = paper_instance(15, 1.1, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Ok(sol) = solve(&SubtreeBottomUp, &inst, &mut rng, &PipelineOptions::default())
+        else { return Ok(()); };
+        let cap = max_throughput(&inst, &sol.mapping);
+        prop_assume!(cap.is_finite() && cap > 0.0);
+        let mut lo = inst.clone();
+        lo.rho = cap * 0.98;
+        prop_assert!(is_feasible(&lo, &sol.mapping));
+        let mut hi = inst.clone();
+        hi.rho = cap * 1.02;
+        prop_assert!(!is_feasible(&hi, &sol.mapping));
+    }
+
+    /// The downgrade pass can only reduce cost, never break feasibility.
+    #[test]
+    fn downgrade_is_sound_and_monotone(seed in 0u64..60) {
+        let inst = paper_instance(20, 1.2, seed);
+        let run = |downgrade: bool| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            solve(
+                &CompGreedy,
+                &inst,
+                &mut rng,
+                &PipelineOptions { downgrade, ..Default::default() },
+            )
+        };
+        if let (Ok(with), Ok(without)) = (run(true), run(false)) {
+            prop_assert!(with.cost <= without.cost);
+            prop_assert!(is_feasible(&inst, &with.mapping));
+        }
+    }
+
+    /// Max-min fairness never oversubscribes any resource and never
+    /// assigns a negative rate.
+    #[test]
+    fn max_min_fair_respects_capacities(
+        caps in proptest::collection::vec(1.0f64..1000.0, 1..6),
+        paths in proptest::collection::vec(
+            proptest::collection::vec(0usize..6, 0..4),
+            0..8,
+        ),
+    ) {
+        let flows: Vec<Vec<usize>> = paths
+            .into_iter()
+            .map(|p| {
+                let mut q: Vec<usize> =
+                    p.into_iter().map(|r| r % caps.len()).collect();
+                q.sort_unstable();
+                q.dedup();
+                q
+            })
+            .collect();
+        let rates = max_min_fair(&caps, &flows);
+        for &r in &rates {
+            prop_assert!(r >= 0.0);
+        }
+        for (res, &cap) in caps.iter().enumerate() {
+            let used: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.contains(&res))
+                .map(|(_, &r)| r)
+                .sum();
+            prop_assert!(used <= cap * (1.0 + 1e-9) + 1e-9);
+        }
+    }
+
+    /// Costs returned by the pipeline always equal the sum of the
+    /// purchased kinds, and every purchased processor hosts at least one
+    /// operator.
+    #[test]
+    fn solutions_have_no_idle_processors(seed in 0u64..80) {
+        let inst = paper_instance(18, 1.0, seed);
+        for h in all_heuristics() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Ok(sol) = solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default()) {
+                let groups = sol.mapping.groups();
+                for (u, ops) in groups.iter().enumerate() {
+                    prop_assert!(
+                        !ops.is_empty(),
+                        "{} bought processor {u} and left it idle",
+                        h.name()
+                    );
+                }
+            }
+        }
+    }
+}
