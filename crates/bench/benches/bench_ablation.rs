@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snsp_bench::{bench_instance, run_pipeline_with};
-use snsp_core::heuristics::{
-    PipelineOptions, PlacementOptions, ServerStrategy, SubtreeBottomUp,
-};
+use snsp_core::heuristics::{PipelineOptions, PlacementOptions, ServerStrategy, SubtreeBottomUp};
 use snsp_gen::ScenarioParams;
 
 fn ablation(c: &mut Criterion) {
@@ -20,13 +18,18 @@ fn ablation(c: &mut Criterion) {
         (
             "no_dedup",
             PipelineOptions {
-                placement: PlacementOptions { dedup_downloads: false },
+                placement: PlacementOptions {
+                    dedup_downloads: false,
+                },
                 ..Default::default()
             },
         ),
         (
             "no_downgrade",
-            PipelineOptions { downgrade: false, ..Default::default() },
+            PipelineOptions {
+                downgrade: false,
+                ..Default::default()
+            },
         ),
         (
             "random_servers",
@@ -42,7 +45,11 @@ fn ablation(c: &mut Criterion) {
         });
         // Also report the cost effect once per variant, outside the timer.
         if let Some(sol) = run_pipeline_with(&SubtreeBottomUp, &inst, 7, opts) {
-            eprintln!("[ablation] {name}: cost ${} procs {}", sol.cost, sol.mapping.proc_count());
+            eprintln!(
+                "[ablation] {name}: cost ${} procs {}",
+                sol.cost,
+                sol.mapping.proc_count()
+            );
         } else {
             eprintln!("[ablation] {name}: infeasible");
         }

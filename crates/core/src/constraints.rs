@@ -25,19 +25,41 @@ pub enum Violation {
     /// Constraint (1): `Σ ρ·w_i / s_u > 1` on a processor.
     CpuOverload { proc: ProcId, load: f64 },
     /// Constraint (2): download + cut-edge traffic exceeds the NIC.
-    NicOverload { proc: ProcId, used: f64, capacity: f64 },
+    NicOverload {
+        proc: ProcId,
+        used: f64,
+        capacity: f64,
+    },
     /// Constraint (3): a server's NIC cannot sustain all its downloads.
-    ServerOverload { server: ServerId, used: f64, capacity: f64 },
+    ServerOverload {
+        server: ServerId,
+        used: f64,
+        capacity: f64,
+    },
     /// Constraint (4): a server→processor link is oversubscribed.
-    ServerLinkOverload { server: ServerId, proc: ProcId, used: f64, capacity: f64 },
+    ServerLinkOverload {
+        server: ServerId,
+        proc: ProcId,
+        used: f64,
+        capacity: f64,
+    },
     /// Constraint (5): a processor↔processor link is oversubscribed.
-    ProcLinkOverload { a: ProcId, b: ProcId, used: f64, capacity: f64 },
+    ProcLinkOverload {
+        a: ProcId,
+        b: ProcId,
+        used: f64,
+        capacity: f64,
+    },
     /// An operator on `proc` needs `ty` but `DL(u)` has no stream for it.
     MissingDownload { proc: ProcId, ty: TypeId },
     /// `DL(u)` contains two streams for the same object type.
     DuplicateDownload { proc: ProcId, ty: TypeId },
     /// A download names a server that does not hold the object.
-    NotAHolder { proc: ProcId, ty: TypeId, server: ServerId },
+    NotAHolder {
+        proc: ProcId,
+        ty: TypeId,
+        server: ServerId,
+    },
     /// An operator is assigned to a processor id that was never purchased.
     DanglingAssignment { op: OpId, proc: ProcId },
     /// The assignment vector length does not match the tree.
@@ -50,32 +72,59 @@ impl std::fmt::Display for Violation {
             Violation::CpuOverload { proc, load } => {
                 write!(f, "processor {proc} CPU load {load:.3} > 1")
             }
-            Violation::NicOverload { proc, used, capacity } => {
+            Violation::NicOverload {
+                proc,
+                used,
+                capacity,
+            } => {
                 write!(f, "processor {proc} NIC {used:.1} > {capacity:.1} MB/s")
             }
-            Violation::ServerOverload { server, used, capacity } => {
+            Violation::ServerOverload {
+                server,
+                used,
+                capacity,
+            } => {
                 write!(f, "server {server} NIC {used:.1} > {capacity:.1} MB/s")
             }
-            Violation::ServerLinkOverload { server, proc, used, capacity } => {
+            Violation::ServerLinkOverload {
+                server,
+                proc,
+                used,
+                capacity,
+            } => {
                 write!(f, "link S{server}→P{proc} {used:.1} > {capacity:.1} MB/s")
             }
-            Violation::ProcLinkOverload { a, b, used, capacity } => {
+            Violation::ProcLinkOverload {
+                a,
+                b,
+                used,
+                capacity,
+            } => {
                 write!(f, "link P{a}↔P{b} {used:.1} > {capacity:.1} MB/s")
             }
             Violation::MissingDownload { proc, ty } => {
-                write!(f, "processor {proc} needs object {ty} but downloads it from nowhere")
+                write!(
+                    f,
+                    "processor {proc} needs object {ty} but downloads it from nowhere"
+                )
             }
             Violation::DuplicateDownload { proc, ty } => {
                 write!(f, "processor {proc} downloads object {ty} twice")
             }
             Violation::NotAHolder { proc, ty, server } => {
-                write!(f, "processor {proc} downloads object {ty} from non-holder {server}")
+                write!(
+                    f,
+                    "processor {proc} downloads object {ty} from non-holder {server}"
+                )
             }
             Violation::DanglingAssignment { op, proc } => {
                 write!(f, "operator {op} assigned to unpurchased processor {proc}")
             }
             Violation::AssignmentShape { expected, actual } => {
-                write!(f, "assignment covers {actual} operators, tree has {expected}")
+                write!(
+                    f,
+                    "assignment covers {actual} operators, tree has {expected}"
+                )
             }
         }
     }
@@ -188,15 +237,17 @@ pub fn check(instance: &Instance, mapping: &Mapping) -> Vec<Violation> {
         for (ty, server) in mapping.downloads_of(u) {
             *have.entry(ty).or_insert(0) += 1;
             if !instance.platform.placement.is_holder(ty, server) {
-                violations.push(Violation::NotAHolder { proc: u, ty, server });
+                violations.push(Violation::NotAHolder {
+                    proc: u,
+                    ty,
+                    server,
+                });
             }
         }
         for ty in needed {
             match have.get(&ty) {
                 None => violations.push(Violation::MissingDownload { proc: u, ty }),
-                Some(&n) if n > 1 => {
-                    violations.push(Violation::DuplicateDownload { proc: u, ty })
-                }
+                Some(&n) if n > 1 => violations.push(Violation::DuplicateDownload { proc: u, ty }),
                 _ => {}
             }
         }
@@ -206,7 +257,10 @@ pub fn check(instance: &Instance, mapping: &Mapping) -> Vec<Violation> {
 
     // (1) CPU capacity.
     for u in mapping.proc_ids() {
-        let kind = instance.platform.catalog.kind(mapping.proc_kinds[u.index()]);
+        let kind = instance
+            .platform
+            .catalog
+            .kind(mapping.proc_kinds[u.index()]);
         let load = report.cpu_fraction(u, kind.speed, instance.rho);
         if !leq(load, 1.0) {
             violations.push(Violation::CpuOverload { proc: u, load });
@@ -214,7 +268,11 @@ pub fn check(instance: &Instance, mapping: &Mapping) -> Vec<Violation> {
         // (2) Processor NIC.
         let used = report.proc_nic(u);
         if !leq(used, kind.bandwidth) {
-            violations.push(Violation::NicOverload { proc: u, used, capacity: kind.bandwidth });
+            violations.push(Violation::NicOverload {
+                proc: u,
+                used,
+                capacity: kind.bandwidth,
+            });
         }
     }
 
@@ -223,7 +281,11 @@ pub fn check(instance: &Instance, mapping: &Mapping) -> Vec<Violation> {
         let used = report.server_load[s.index()];
         let capacity = instance.platform.server(s).nic_bandwidth;
         if !leq(used, capacity) {
-            violations.push(Violation::ServerOverload { server: s, used, capacity });
+            violations.push(Violation::ServerOverload {
+                server: s,
+                used,
+                capacity,
+            });
         }
     }
 
@@ -231,7 +293,12 @@ pub fn check(instance: &Instance, mapping: &Mapping) -> Vec<Violation> {
     for (&(s, u), &used) in &report.server_links {
         let capacity = instance.platform.server(s).link_bandwidth;
         if !leq(used, capacity) {
-            violations.push(Violation::ServerLinkOverload { server: s, proc: u, used, capacity });
+            violations.push(Violation::ServerLinkOverload {
+                server: s,
+                proc: u,
+                used,
+                capacity,
+            });
         }
     }
 
@@ -239,7 +306,12 @@ pub fn check(instance: &Instance, mapping: &Mapping) -> Vec<Violation> {
     for (&(a, b), &used) in &report.proc_links {
         let capacity = instance.platform.proc_link;
         if !leq(used, capacity) {
-            violations.push(Violation::ProcLinkOverload { a, b, used, capacity });
+            violations.push(Violation::ProcLinkOverload {
+                a,
+                b,
+                used,
+                capacity,
+            });
         }
     }
 
@@ -271,7 +343,10 @@ pub fn max_throughput(instance: &Instance, mapping: &Mapping) -> f64 {
     };
 
     for u in mapping.proc_ids() {
-        let kind = instance.platform.catalog.kind(mapping.proc_kinds[u.index()]);
+        let kind = instance
+            .platform
+            .catalog
+            .kind(mapping.proc_kinds[u.index()]);
         bound(kind.speed, 0.0, report.proc_work[u.index()]);
         // proc_comm already includes ρ; divide it back out for the marginal.
         bound(
@@ -290,7 +365,7 @@ pub fn max_throughput(instance: &Instance, mapping: &Mapping) -> f64 {
     for (&(s, _), &used) in &report.server_links {
         bound(instance.platform.server(s).link_bandwidth, used, 0.0);
     }
-    for (_, &used) in &report.proc_links {
+    for &used in report.proc_links.values() {
         bound(instance.platform.proc_link, 0.0, used / instance.rho);
     }
     best
@@ -330,9 +405,21 @@ mod tests {
             vec![top, top],
             vec![ProcId(0), ProcId(1)],
             vec![
-                Download { proc: ProcId(0), ty: TypeId(0), server: ServerId(0) },
-                Download { proc: ProcId(1), ty: TypeId(0), server: ServerId(0) },
-                Download { proc: ProcId(1), ty: TypeId(1), server: ServerId(1) },
+                Download {
+                    proc: ProcId(0),
+                    ty: TypeId(0),
+                    server: ServerId(0),
+                },
+                Download {
+                    proc: ProcId(1),
+                    ty: TypeId(0),
+                    server: ServerId(0),
+                },
+                Download {
+                    proc: ProcId(1),
+                    ty: TypeId(1),
+                    server: ServerId(1),
+                },
             ],
         )
     }
@@ -350,16 +437,24 @@ mod tests {
         let inst = instance(1.0, WorkModel::PAPER_KAPPA);
         let mut m = feasible_split(&inst);
         m.downloads.retain(|d| d.ty != TypeId(1));
-        assert!(check(&inst, &m)
-            .iter()
-            .any(|v| matches!(v, Violation::MissingDownload { proc: ProcId(1), ty: TypeId(1) })));
+        assert!(check(&inst, &m).iter().any(|v| matches!(
+            v,
+            Violation::MissingDownload {
+                proc: ProcId(1),
+                ty: TypeId(1)
+            }
+        )));
     }
 
     #[test]
     fn duplicate_download_is_reported() {
         let inst = instance(1.0, WorkModel::PAPER_KAPPA);
         let mut m = feasible_split(&inst);
-        m.downloads.push(Download { proc: ProcId(0), ty: TypeId(0), server: ServerId(0) });
+        m.downloads.push(Download {
+            proc: ProcId(0),
+            ty: TypeId(0),
+            server: ServerId(0),
+        });
         assert!(check(&inst, &m)
             .iter()
             .any(|v| matches!(v, Violation::DuplicateDownload { .. })));
@@ -392,8 +487,16 @@ mod tests {
             vec![inst.platform.catalog.most_expensive()],
             vec![ProcId(0), ProcId(0)],
             vec![
-                Download { proc: ProcId(0), ty: TypeId(0), server: ServerId(0) },
-                Download { proc: ProcId(0), ty: TypeId(1), server: ServerId(1) },
+                Download {
+                    proc: ProcId(0),
+                    ty: TypeId(0),
+                    server: ServerId(0),
+                },
+                Download {
+                    proc: ProcId(0),
+                    ty: TypeId(1),
+                    server: ServerId(1),
+                },
             ],
         );
         assert!(is_feasible(&inst, &m));
@@ -435,10 +538,16 @@ mod tests {
         let m = Mapping::new(
             vec![0, 0],
             vec![ProcId(0), ProcId(1)],
-            vec![Download { proc: ProcId(1), ty: TypeId(0), server: ServerId(0) }],
+            vec![Download {
+                proc: ProcId(1),
+                ty: TypeId(0),
+                server: ServerId(0),
+            }],
         );
         let violations = check(&inst, &m);
-        assert!(violations.iter().any(|v| matches!(v, Violation::NicOverload { .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::NicOverload { .. })));
     }
 
     #[test]
@@ -467,11 +576,17 @@ mod tests {
             vec![top; 10],
             (0..10).map(ProcId::from).collect(),
             (0..10)
-                .map(|i| Download { proc: ProcId::from(i), ty: t0, server: ServerId(0) })
+                .map(|i| Download {
+                    proc: ProcId::from(i),
+                    ty: t0,
+                    server: ServerId(0),
+                })
                 .collect(),
         );
         let violations = check(&inst, &m);
-        assert!(violations.iter().any(|v| matches!(v, Violation::ServerOverload { .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::ServerOverload { .. })));
     }
 
     #[test]
@@ -497,8 +612,16 @@ mod tests {
             vec![inst.platform.catalog.most_expensive()],
             vec![ProcId(0), ProcId(0)],
             vec![
-                Download { proc: ProcId(0), ty: TypeId(0), server: ServerId(0) },
-                Download { proc: ProcId(0), ty: TypeId(1), server: ServerId(1) },
+                Download {
+                    proc: ProcId(0),
+                    ty: TypeId(0),
+                    server: ServerId(0),
+                },
+                Download {
+                    proc: ProcId(0),
+                    ty: TypeId(1),
+                    server: ServerId(1),
+                },
             ],
         );
         // Compute still scales with ρ, so the bound is finite — it comes
@@ -515,7 +638,10 @@ mod tests {
         let m = Mapping::new(vec![0], vec![ProcId(0)], vec![]);
         assert!(matches!(
             check(&inst, &m)[0],
-            Violation::AssignmentShape { expected: 2, actual: 1 }
+            Violation::AssignmentShape {
+                expected: 2,
+                actual: 1
+            }
         ));
     }
 }

@@ -77,11 +77,7 @@ impl Heuristic for CommGreedy {
 
 /// Case (ii): try to put `op` on existing group `g`; otherwise buy the most
 /// expensive processor for it (with the grouping-technique fallback).
-fn accommodate(
-    builder: &mut GroupBuilder<'_>,
-    g: usize,
-    op: OpId,
-) -> Result<(), HeuristicError> {
+fn accommodate(builder: &mut GroupBuilder<'_>, g: usize, op: OpId) -> Result<(), HeuristicError> {
     let mut candidate = builder.group_ops(g).to_vec();
     candidate.push(op);
     let demand = builder.demand_of(&candidate);

@@ -58,7 +58,9 @@ pub struct PlacementOptions {
 
 impl Default for PlacementOptions {
     fn default() -> Self {
-        PlacementOptions { dedup_downloads: true }
+        PlacementOptions {
+            dedup_downloads: true,
+        }
     }
 }
 
@@ -225,7 +227,9 @@ impl<'a> GroupBuilder<'a> {
 
     /// Ids of all live groups.
     pub fn live_groups(&self) -> Vec<usize> {
-        (0..self.groups.len()).filter(|&g| self.groups[g].alive).collect()
+        (0..self.groups.len())
+            .filter(|&g| self.groups[g].alive)
+            .collect()
     }
 
     /// Computes the [`Demand`] of an operator set against the current
@@ -249,9 +253,7 @@ impl<'a> GroupBuilder<'a> {
             } else {
                 for &ty in self.inst.tree.leaf_types(op) {
                     d.download_rate += self.inst.object_rate(ty);
-                    if self.inst.object_rate(ty)
-                        > self.inst.platform.best_link_for(ty) + 1e-9
-                    {
+                    if self.inst.object_rate(ty) > self.inst.platform.best_link_for(ty) + 1e-9 {
                         d.undownloadable = true;
                     }
                 }
@@ -334,7 +336,11 @@ impl<'a> GroupBuilder<'a> {
             debug_assert!(self.op_group[op.index()].is_none(), "{op} already assigned");
             self.op_group[op.index()] = Some(self.groups.len());
         }
-        self.groups.push(Group { ops, kind, alive: true });
+        self.groups.push(Group {
+            ops,
+            kind,
+            alive: true,
+        });
         self.groups.len() - 1
     }
 
@@ -430,7 +436,7 @@ impl<'a> GroupBuilder<'a> {
                     if candidate.contains(&nb) {
                         continue;
                     }
-                    if best.map_or(true, |(_, r)| rate > r) {
+                    if best.is_none_or(|(_, r)| rate > r) {
                         best = Some((nb, rate));
                     }
                 }
@@ -463,9 +469,15 @@ impl<'a> GroupBuilder<'a> {
             .groups
             .into_iter()
             .filter(|g| g.alive)
-            .map(|g| PlacedGroup { ops: g.ops, kind: g.kind })
+            .map(|g| PlacedGroup {
+                ops: g.ops,
+                kind: g.kind,
+            })
             .collect();
-        Ok(PlacedOps { groups, n_ops: self.op_group.len() })
+        Ok(PlacedOps {
+            groups,
+            n_ops: self.op_group.len(),
+        })
     }
 }
 
@@ -507,7 +519,12 @@ mod tests {
         // op2 reads t0 twice → one 5 MB/s download with dedup.
         assert!((d.download_rate - 5.0).abs() < 1e-9);
 
-        let naive = GroupBuilder::new(&inst, PlacementOptions { dedup_downloads: false });
+        let naive = GroupBuilder::new(
+            &inst,
+            PlacementOptions {
+                dedup_downloads: false,
+            },
+        );
         let d = naive.demand_of(&[OpId(2)]);
         assert!((d.download_rate - 10.0).abs() < 1e-9);
     }
@@ -568,7 +585,9 @@ mod tests {
         let mut b = GroupBuilder::new(&inst, PlacementOptions::default());
         // op1's output is 2600 MB → cut edge 2600 MB/s > 2500 NIC max.
         assert!(b.kind_for(&[OpId(1)], KindPolicy::MostExpensive).is_none());
-        let g = b.place_with_grouping(OpId(1), KindPolicy::MostExpensive).unwrap();
+        let g = b
+            .place_with_grouping(OpId(1), KindPolicy::MostExpensive)
+            .unwrap();
         let mut ops = b.group_ops(g).to_vec();
         ops.sort_unstable();
         assert_eq!(ops, vec![OpId(0), OpId(1)]);

@@ -65,10 +65,7 @@ impl Heuristic for CompGreedy {
     ) -> Result<PlacedOps, HeuristicError> {
         let order = by_decreasing_work(inst);
         let mut builder = GroupBuilder::new(inst, *opts);
-        loop {
-            let Some(&seed) = order.iter().find(|&&op| builder.is_unassigned(op)) else {
-                break;
-            };
+        while let Some(&seed) = order.iter().find(|&&op| builder.is_unassigned(op)) {
             let g = builder.place_with_grouping(seed, KindPolicy::MostExpensive)?;
             pack_group(&mut builder, g, &order);
         }
@@ -127,10 +124,7 @@ mod tests {
         let builder = GroupBuilder::new(&inst, PlacementOptions::default());
         for g in &placed.groups {
             let demand = builder.demand_of(&g.ops);
-            assert!(
-                demand.speed_need(inst.rho)
-                    <= inst.platform.catalog.kind(g.kind).speed + 1e-9
-            );
+            assert!(demand.speed_need(inst.rho) <= inst.platform.catalog.kind(g.kind).speed + 1e-9);
         }
     }
 }

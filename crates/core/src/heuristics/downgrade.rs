@@ -29,7 +29,10 @@ pub fn final_demands(
     let mut demands: Vec<FinalDemand> = placed
         .groups
         .iter()
-        .map(|_| FinalDemand { speed: 0.0, bandwidth: 0.0 })
+        .map(|_| FinalDemand {
+            speed: 0.0,
+            bandwidth: 0.0,
+        })
         .collect();
 
     for op in inst.tree.ops() {

@@ -23,8 +23,7 @@ use rand::RngCore;
 
 pub use comm_greedy::CommGreedy;
 pub use common::{
-    Demand, GroupBuilder, HeuristicError, KindPolicy, PlacedGroup, PlacedOps,
-    PlacementOptions,
+    Demand, GroupBuilder, HeuristicError, KindPolicy, PlacedGroup, PlacedOps, PlacementOptions,
 };
 pub use comp_greedy::CompGreedy;
 pub use downgrade::downgrade;
@@ -99,11 +98,13 @@ pub fn solve(
     opts: &PipelineOptions,
 ) -> Result<Solution, HeuristicError> {
     let mut placed = heuristic.place(inst, rng, &opts.placement)?;
-    let strategy = opts.server_strategy.unwrap_or(if heuristic.prefers_random_servers() {
-        ServerStrategy::Random
-    } else {
-        ServerStrategy::ThreeLoop
-    });
+    let strategy = opts
+        .server_strategy
+        .unwrap_or(if heuristic.prefers_random_servers() {
+            ServerStrategy::Random
+        } else {
+            ServerStrategy::ThreeLoop
+        });
     let downloads = select_servers(inst, &placed, strategy, rng)?;
     if opts.downgrade {
         downgrade::downgrade(inst, &mut placed, &downloads);
@@ -114,7 +115,11 @@ pub fn solve(
         return Err(HeuristicError::FinalCheck(violations));
     }
     let cost = mapping.cost(inst);
-    Ok(Solution { mapping, cost, heuristic: heuristic.name() })
+    Ok(Solution {
+        mapping,
+        cost,
+        heuristic: heuristic.name(),
+    })
 }
 
 /// All six paper heuristics, in the paper's presentation order.
@@ -166,7 +171,10 @@ mod tests {
                 h.as_ref(),
                 &inst,
                 &mut rng,
-                &PipelineOptions { downgrade: false, ..Default::default() },
+                &PipelineOptions {
+                    downgrade: false,
+                    ..Default::default()
+                },
             );
             if let (Ok(a), Ok(b)) = (with, without) {
                 assert!(

@@ -64,11 +64,7 @@ impl Heuristic for ObjectAvailability {
 
         // Remaining internal operators: Comp-Greedy style.
         let work_order = by_decreasing_work(inst);
-        loop {
-            let Some(&seed) = work_order.iter().find(|&&op| builder.is_unassigned(op))
-            else {
-                break;
-            };
+        while let Some(&seed) = work_order.iter().find(|&&op| builder.is_unassigned(op)) {
             let g = builder.place_with_grouping(seed, KindPolicy::MostExpensive)?;
             pack_group(&mut builder, g, &work_order);
         }

@@ -46,7 +46,10 @@ impl Heuristic for ObjectGrouping {
     ) -> Result<PlacedOps, HeuristicError> {
         let pop = popularities(inst);
         let op_popularity = |op: OpId| -> usize {
-            inst.types_needed_by(op).iter().map(|t| pop[t.index()]).sum()
+            inst.types_needed_by(op)
+                .iter()
+                .map(|t| pop[t.index()])
+                .sum()
         };
 
         let mut al_ops: Vec<OpId> = inst.tree.al_operators().collect();
@@ -54,10 +57,7 @@ impl Heuristic for ObjectGrouping {
         let work_order = by_decreasing_work(inst);
 
         let mut builder = GroupBuilder::new(inst, *opts);
-        loop {
-            let Some(&seed) = al_ops.iter().find(|&&op| builder.is_unassigned(op)) else {
-                break;
-            };
+        while let Some(&seed) = al_ops.iter().find(|&&op| builder.is_unassigned(op)) {
             let g = builder.place_with_grouping(seed, KindPolicy::MostExpensive)?;
 
             // Pack al-operators sharing one of the group's object types,
@@ -93,11 +93,7 @@ impl Heuristic for ObjectGrouping {
 
         // Any internal operators still unassigned get Comp-Greedy
         // treatment: new most-expensive processor + packing.
-        loop {
-            let Some(&seed) = work_order.iter().find(|&&op| builder.is_unassigned(op))
-            else {
-                break;
-            };
+        while let Some(&seed) = work_order.iter().find(|&&op| builder.is_unassigned(op)) {
             let g = builder.place_with_grouping(seed, KindPolicy::MostExpensive)?;
             pack_group(&mut builder, g, &work_order);
         }

@@ -147,7 +147,11 @@ fn random(
             });
         };
         tracker.commit(server, req.proc, req.rate);
-        downloads.push(Download { proc: req.proc, ty: req.ty, server });
+        downloads.push(Download {
+            proc: req.proc,
+            ty: req.ty,
+            server,
+        });
     }
     Ok(downloads)
 }
@@ -157,11 +161,14 @@ fn three_loop(inst: &Instance, placed: &PlacedOps) -> Result<Vec<Download>, Heur
     let mut pending = requests(inst, placed);
     let mut downloads = Vec::with_capacity(pending.len());
 
-    let mut assign =
-        |req: Request, server: ServerId, tracker: &mut CapacityTracker<'_>| {
-            tracker.commit(server, req.proc, req.rate);
-            downloads.push(Download { proc: req.proc, ty: req.ty, server });
-        };
+    let mut assign = |req: Request, server: ServerId, tracker: &mut CapacityTracker<'_>| {
+        tracker.commit(server, req.proc, req.rate);
+        downloads.push(Download {
+            proc: req.proc,
+            ty: req.ty,
+            server,
+        });
+    };
 
     // Pass 1: single-holder objects have no choice.
     let mut rest = Vec::with_capacity(pending.len());

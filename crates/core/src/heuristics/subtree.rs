@@ -179,7 +179,10 @@ mod tests {
                 .children(op)
                 .iter()
                 .any(|&c| assign[c.index()] == assign[op.index()]);
-            assert!(merged, "operator {op} should share a processor with a child");
+            assert!(
+                merged,
+                "operator {op} should share a processor with a child"
+            );
         }
     }
 }

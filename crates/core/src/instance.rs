@@ -29,7 +29,12 @@ impl Instance {
         platform: Platform,
         rho: f64,
     ) -> Result<Self, InstanceError> {
-        let inst = Instance { tree, objects, platform, rho };
+        let inst = Instance {
+            tree,
+            objects,
+            platform,
+            rho,
+        };
         inst.validate()?;
         Ok(inst)
     }
@@ -97,7 +102,10 @@ impl std::fmt::Display for InstanceError {
             InstanceError::Tree(e) => write!(f, "invalid tree: {e}"),
             InstanceError::Platform(e) => write!(f, "invalid platform: {e}"),
             InstanceError::UnhostedObject(ty) => {
-                write!(f, "object type {ty} used by the tree is hosted by no server")
+                write!(
+                    f,
+                    "object type {ty} used by the tree is hosted by no server"
+                )
             }
         }
     }
@@ -140,7 +148,12 @@ mod tests {
     #[test]
     fn rejects_nonpositive_rho() {
         let inst = tiny_instance();
-        let err = Instance::new(inst.tree.clone(), inst.objects.clone(), inst.platform.clone(), 0.0);
+        let err = Instance::new(
+            inst.tree.clone(),
+            inst.objects.clone(),
+            inst.platform.clone(),
+            0.0,
+        );
         assert!(matches!(err, Err(InstanceError::BadThroughput(_))));
     }
 

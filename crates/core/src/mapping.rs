@@ -34,9 +34,17 @@ pub struct Mapping {
 
 impl Mapping {
     /// Creates a mapping and normalizes the download order.
-    pub fn new(proc_kinds: Vec<usize>, assignment: Vec<ProcId>, mut downloads: Vec<Download>) -> Self {
+    pub fn new(
+        proc_kinds: Vec<usize>,
+        assignment: Vec<ProcId>,
+        mut downloads: Vec<Download>,
+    ) -> Self {
         downloads.sort_unstable();
-        Mapping { proc_kinds, assignment, downloads }
+        Mapping {
+            proc_kinds,
+            assignment,
+            downloads,
+        }
     }
 
     /// Number of purchased processors.
@@ -147,9 +155,21 @@ mod tests {
             vec![0, 0],
             vec![ProcId(0), ProcId(1)],
             vec![
-                Download { proc: ProcId(0), ty: TypeId(0), server: ServerId(0) },
-                Download { proc: ProcId(1), ty: TypeId(0), server: ServerId(0) },
-                Download { proc: ProcId(1), ty: TypeId(1), server: ServerId(1) },
+                Download {
+                    proc: ProcId(0),
+                    ty: TypeId(0),
+                    server: ServerId(0),
+                },
+                Download {
+                    proc: ProcId(1),
+                    ty: TypeId(0),
+                    server: ServerId(0),
+                },
+                Download {
+                    proc: ProcId(1),
+                    ty: TypeId(1),
+                    server: ServerId(1),
+                },
             ],
         )
     }
@@ -178,7 +198,10 @@ mod tests {
         let inst = two_op_instance();
         let m = Mapping::new(vec![0], vec![ProcId(0), ProcId(0)], vec![]);
         // Both ops on one proc: t0 appears twice in the tree but once here.
-        assert_eq!(m.required_types(&inst, ProcId(0)), vec![TypeId(0), TypeId(1)]);
+        assert_eq!(
+            m.required_types(&inst, ProcId(0)),
+            vec![TypeId(0), TypeId(1)]
+        );
     }
 
     #[test]
@@ -197,8 +220,16 @@ mod tests {
             vec![0],
             vec![ProcId(0)],
             vec![
-                Download { proc: ProcId(0), ty: TypeId(1), server: ServerId(0) },
-                Download { proc: ProcId(0), ty: TypeId(0), server: ServerId(0) },
+                Download {
+                    proc: ProcId(0),
+                    ty: TypeId(1),
+                    server: ServerId(0),
+                },
+                Download {
+                    proc: ProcId(0),
+                    ty: TypeId(0),
+                    server: ServerId(0),
+                },
             ],
         );
         assert!(m.downloads.windows(2).all(|w| w[0] <= w[1]));

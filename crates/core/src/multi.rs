@@ -89,9 +89,9 @@ impl MultiSolution {
 
 /// Aggregate demand of a set of (app, group) pairs sharing one processor.
 struct JointDemand {
-    work: f64,               // Σ ρ_k · w_i, pre-scaled per app
-    download: f64,           // dedup across apps
-    comm: f64,               // cut edges, per app
+    work: f64,     // Σ ρ_k · w_i, pre-scaled per app
+    download: f64, // dedup across apps
+    comm: f64,     // cut edges, per app
     max_edge: f64,
 }
 
@@ -100,7 +100,12 @@ fn joint_demand(
     members: &[(usize, &PlacedGroup)],
     co_located: impl Fn(usize, OpId) -> bool,
 ) -> JointDemand {
-    let mut d = JointDemand { work: 0.0, download: 0.0, comm: 0.0, max_edge: 0.0 };
+    let mut d = JointDemand {
+        work: 0.0,
+        download: 0.0,
+        comm: 0.0,
+        max_edge: 0.0,
+    };
     let mut types: Vec<TypeId> = Vec::new();
     for &(k, group) in members {
         let app = &multi.apps[k];
@@ -125,10 +130,7 @@ fn joint_demand(
     }
     types.sort_unstable();
     types.dedup();
-    d.download = types
-        .iter()
-        .map(|&ty| multi.apps[0].object_rate(ty))
-        .sum();
+    d.download = types.iter().map(|&ty| multi.apps[0].object_rate(ty)).sum();
     d
 }
 
@@ -272,10 +274,7 @@ pub fn solve_joint(
                     .iter()
                     .copied()
                     .filter(|&s| {
-                        let link = link_used
-                            .get(&(s.index(), u))
-                            .copied()
-                            .unwrap_or(0.0);
+                        let link = link_used.get(&(s.index(), u)).copied().unwrap_or(0.0);
                         server_left[s.index()] + 1e-9 >= rate
                             && platform.server(s).link_bandwidth - link + 1e-9 >= rate
                     })
@@ -292,15 +291,21 @@ pub fn solve_joint(
                 };
                 server_left[server.index()] -= rate;
                 *link_used.entry((server.index(), u)).or_insert(0.0) += rate;
-                downloads.push(Download { proc: ProcId::from(u), ty, server });
+                downloads.push(Download {
+                    proc: ProcId::from(u),
+                    ty,
+                    server,
+                });
             }
         }
     }
 
     // 5. Downgrade each shared processor to the cheapest fitting kind.
     for (u, pool) in live.iter().enumerate() {
-        let members: Vec<(usize, &PlacedGroup)> =
-            pool.iter().map(|&(k, g)| (k, &placed[k].groups[g])).collect();
+        let members: Vec<(usize, &PlacedGroup)> = pool
+            .iter()
+            .map(|&(k, g)| (k, &placed[k].groups[g]))
+            .collect();
         let d = joint_demand(multi, &members, |k, op| {
             assignments[k][op.index()] == ProcId::from(u)
         });
@@ -312,7 +317,12 @@ pub fn solve_joint(
     }
 
     let cost = proc_kinds.iter().map(|&k| catalog.kind(k).cost).sum();
-    let solution = MultiSolution { proc_kinds, assignments, downloads, cost };
+    let solution = MultiSolution {
+        proc_kinds,
+        assignments,
+        downloads,
+        cost,
+    };
 
     // 6. Full verification: each application's own constraints must hold
     //    on its projection; shared-resource constraints (server NICs,
@@ -323,10 +333,7 @@ pub fn solve_joint(
 
 /// Checks the joint solution: per-app mappings feasible except that
 /// shared-resource headroom is charged with *all* applications' loads.
-pub fn verify_joint(
-    multi: &MultiInstance,
-    sol: &MultiSolution,
-) -> Result<(), HeuristicError> {
+pub fn verify_joint(multi: &MultiInstance, sol: &MultiSolution) -> Result<(), HeuristicError> {
     let n_procs = sol.proc_kinds.len();
     let catalog = &multi.apps[0].platform.catalog;
     let mut cpu = vec![0.0_f64; n_procs];
@@ -418,8 +425,13 @@ mod tests {
     fn joint_solution_is_verified_and_cheaper_than_separate() {
         let multi = multi(3, 12, 0.9);
         let mut rng = StdRng::seed_from_u64(0);
-        let joint = solve_joint(&multi, &SubtreeBottomUp, &mut rng, &PipelineOptions::default())
-            .expect("joint placement feasible");
+        let joint = solve_joint(
+            &multi,
+            &SubtreeBottomUp,
+            &mut rng,
+            &PipelineOptions::default(),
+        )
+        .expect("joint placement feasible");
 
         // Separate platforms: solve each app alone and sum costs.
         let mut separate = 0u64;
@@ -446,9 +458,13 @@ mod tests {
     fn projections_cover_every_operator() {
         let multi = multi(2, 10, 1.1);
         let mut rng = StdRng::seed_from_u64(1);
-        let joint =
-            solve_joint(&multi, &SubtreeBottomUp, &mut rng, &PipelineOptions::default())
-                .unwrap();
+        let joint = solve_joint(
+            &multi,
+            &SubtreeBottomUp,
+            &mut rng,
+            &PipelineOptions::default(),
+        )
+        .unwrap();
         for (k, app) in multi.apps.iter().enumerate() {
             let mapping = joint.mapping_for(&multi, k);
             assert_eq!(mapping.assignment.len(), app.tree.len());
@@ -471,9 +487,13 @@ mod tests {
     fn shared_objects_are_downloaded_once_per_processor() {
         let multi = multi(3, 10, 0.9);
         let mut rng = StdRng::seed_from_u64(2);
-        let joint =
-            solve_joint(&multi, &SubtreeBottomUp, &mut rng, &PipelineOptions::default())
-                .unwrap();
+        let joint = solve_joint(
+            &multi,
+            &SubtreeBottomUp,
+            &mut rng,
+            &PipelineOptions::default(),
+        )
+        .unwrap();
         let mut seen = std::collections::BTreeSet::new();
         for d in &joint.downloads {
             assert!(
@@ -489,9 +509,13 @@ mod tests {
     fn verify_joint_catches_overload() {
         let multi = multi(2, 8, 0.9);
         let mut rng = StdRng::seed_from_u64(3);
-        let mut joint =
-            solve_joint(&multi, &SubtreeBottomUp, &mut rng, &PipelineOptions::default())
-                .unwrap();
+        let mut joint = solve_joint(
+            &multi,
+            &SubtreeBottomUp,
+            &mut rng,
+            &PipelineOptions::default(),
+        )
+        .unwrap();
         // Downgrade every processor to the cheapest kind and cram the
         // whole workload onto processor 0: almost surely overloads a NIC.
         for k in &mut joint.proc_kinds {

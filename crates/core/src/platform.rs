@@ -39,20 +39,50 @@ pub struct NicOption {
 
 /// Table 1 CPU options: (Gop/s, upgrade $).
 pub const PAPER_CPUS: [CpuOption; 5] = [
-    CpuOption { speed: 11.72, upgrade_cost: 0 },
-    CpuOption { speed: 19.20, upgrade_cost: 1_550 },
-    CpuOption { speed: 25.60, upgrade_cost: 2_399 },
-    CpuOption { speed: 38.40, upgrade_cost: 3_949 },
-    CpuOption { speed: 46.88, upgrade_cost: 5_299 },
+    CpuOption {
+        speed: 11.72,
+        upgrade_cost: 0,
+    },
+    CpuOption {
+        speed: 19.20,
+        upgrade_cost: 1_550,
+    },
+    CpuOption {
+        speed: 25.60,
+        upgrade_cost: 2_399,
+    },
+    CpuOption {
+        speed: 38.40,
+        upgrade_cost: 3_949,
+    },
+    CpuOption {
+        speed: 46.88,
+        upgrade_cost: 5_299,
+    },
 ];
 
 /// Table 1 network-card options: (Gbps converted to MB/s, upgrade $).
 pub const PAPER_NICS: [NicOption; 5] = [
-    NicOption { bandwidth: 1.0 * MBPS_PER_GBPS, upgrade_cost: 0 },
-    NicOption { bandwidth: 2.0 * MBPS_PER_GBPS, upgrade_cost: 399 },
-    NicOption { bandwidth: 4.0 * MBPS_PER_GBPS, upgrade_cost: 1_197 },
-    NicOption { bandwidth: 10.0 * MBPS_PER_GBPS, upgrade_cost: 2_800 },
-    NicOption { bandwidth: 20.0 * MBPS_PER_GBPS, upgrade_cost: 5_999 },
+    NicOption {
+        bandwidth: 1.0 * MBPS_PER_GBPS,
+        upgrade_cost: 0,
+    },
+    NicOption {
+        bandwidth: 2.0 * MBPS_PER_GBPS,
+        upgrade_cost: 399,
+    },
+    NicOption {
+        bandwidth: 4.0 * MBPS_PER_GBPS,
+        upgrade_cost: 1_197,
+    },
+    NicOption {
+        bandwidth: 10.0 * MBPS_PER_GBPS,
+        upgrade_cost: 2_800,
+    },
+    NicOption {
+        bandwidth: 20.0 * MBPS_PER_GBPS,
+        upgrade_cost: 5_999,
+    },
 ];
 
 /// A concrete processor configuration: one chassis + one CPU + one NIC.
@@ -98,7 +128,10 @@ pub struct Catalog {
 impl Catalog {
     /// Builds a catalog from explicit CPU and NIC option lists.
     pub fn new(cpus: Vec<CpuOption>, nics: Vec<NicOption>, chassis_cost: u64) -> Self {
-        assert!(!cpus.is_empty() && !nics.is_empty(), "catalog cannot be empty");
+        assert!(
+            !cpus.is_empty() && !nics.is_empty(),
+            "catalog cannot be empty"
+        );
         let mut kinds: Vec<ProcessorKind> = cpus
             .iter()
             .flat_map(|&c| {
@@ -112,7 +145,12 @@ impl Catalog {
                 .then(a.speed.partial_cmp(&b.speed).unwrap())
                 .then(a.bandwidth.partial_cmp(&b.bandwidth).unwrap())
         });
-        Catalog { kinds, cpus, nics, chassis_cost }
+        Catalog {
+            kinds,
+            cpus,
+            nics,
+            chassis_cost,
+        }
     }
 
     /// The paper's Table 1 catalog (heterogeneous, CONSTR-LAN).

@@ -22,7 +22,11 @@ pub fn describe(inst: &Instance, mapping: &Mapping) -> String {
         let kind = inst.platform.catalog.kind(mapping.proc_kinds[u.index()]);
         let cpu = 100.0 * loads.cpu_fraction(u, kind.speed, inst.rho);
         let nic = 100.0 * loads.proc_nic(u) / kind.bandwidth;
-        let ops: Vec<String> = mapping.ops_on(u).iter().map(|op| format!("n{op}")).collect();
+        let ops: Vec<String> = mapping
+            .ops_on(u)
+            .iter()
+            .map(|op| format!("n{op}"))
+            .collect();
         let _ = writeln!(
             out,
             "  P{u}: {:.2} Gop/s, {:.0} MB/s NIC, ${} — cpu {cpu:.1}%, nic {nic:.1}%",
@@ -41,8 +45,7 @@ pub fn describe(inst: &Instance, mapping: &Mapping) -> String {
     let _ = writeln!(
         out,
         "  target throughput ρ = {} /s, analytic maximum = {:.3} /s",
-        inst.rho,
-        max_rho
+        inst.rho, max_rho
     );
     out
 }
@@ -59,7 +62,13 @@ mod tests {
     fn describe_mentions_every_processor_and_cost() {
         let inst = paper_like_instance(12, 0.9, 3);
         let mut rng = StdRng::seed_from_u64(0);
-        let sol = solve(&SubtreeBottomUp, &inst, &mut rng, &PipelineOptions::default()).unwrap();
+        let sol = solve(
+            &SubtreeBottomUp,
+            &inst,
+            &mut rng,
+            &PipelineOptions::default(),
+        )
+        .unwrap();
         let text = describe(&inst, &sol.mapping);
         assert!(text.contains(&format!("total cost ${}", sol.cost)));
         for u in 0..sol.mapping.proc_count() {

@@ -248,8 +248,7 @@ mod tests {
         for other in [RewriteStrategy::LeftDeep, RewriteStrategy::Balanced] {
             let alt = rewrite(&tree, &objects, &model, other);
             assert!(
-                total_intermediate_size(&huffman)
-                    <= total_intermediate_size(&alt) + 1e-9,
+                total_intermediate_size(&huffman) <= total_intermediate_size(&alt) + 1e-9,
                 "huffman {} > {other:?} {}",
                 total_intermediate_size(&huffman),
                 total_intermediate_size(&alt)

@@ -85,7 +85,10 @@ impl std::fmt::Display for TreeError {
                 write!(f, "both {a} and {b} are parentless")
             }
             TreeError::NotATree(op) => {
-                write!(f, "operator {op} is unreachable from the root or on a cycle")
+                write!(
+                    f,
+                    "operator {op} is unreachable from the root or on a cycle"
+                )
             }
             TreeError::UnknownObjectType(op, ty) => {
                 write!(f, "operator {op} references unknown object type {ty}")
@@ -197,9 +200,8 @@ impl OperatorTree {
     /// The tree edges as `(parent, child, δ_child)` triples; `δ_child` is
     /// meaningful only after [`Self::apply_work_model`].
     pub fn edges(&self) -> impl Iterator<Item = (OpId, OpId, f64)> + '_ {
-        self.ops().filter_map(move |c| {
-            self.parent(c).map(|p| (p, c, self.output(c)))
-        })
+        self.ops()
+            .filter_map(move |c| self.parent(c).map(|p| (p, c, self.output(c))))
     }
 
     /// Post-order traversal (children before parents) from the root.
@@ -289,9 +291,7 @@ impl OperatorTree {
                     Some(r) => return Err(TreeError::MultipleRoots(r, op)),
                 },
                 Some(p) => {
-                    if p.index() >= self.nodes.len()
-                        || !self.node(p).children.contains(&op)
-                    {
+                    if p.index() >= self.nodes.len() || !self.node(p).children.contains(&op) {
                         return Err(TreeError::BrokenLink(op));
                     }
                 }
@@ -404,10 +404,7 @@ mod tests {
     use crate::object::ObjectType;
 
     fn catalog() -> ObjectCatalog {
-        ObjectCatalog::from_types(vec![
-            ObjectType::new(10.0, 0.5),
-            ObjectType::new(20.0, 0.5),
-        ])
+        ObjectCatalog::from_types(vec![ObjectType::new(10.0, 0.5), ObjectType::new(20.0, 0.5)])
     }
 
     /// The paper's Fig. 1(a) "standard tree" shape: n4 is the root with
@@ -505,8 +502,14 @@ mod tests {
         let root = b.add_root();
         b.add_leaf(root, TypeId(0)).unwrap();
         b.add_leaf(root, TypeId(1)).unwrap();
-        assert_eq!(b.add_leaf(root, TypeId(0)), Err(TreeError::ArityExceeded(root)));
-        assert!(matches!(b.add_child(root), Err(TreeError::ArityExceeded(_))));
+        assert_eq!(
+            b.add_leaf(root, TypeId(0)),
+            Err(TreeError::ArityExceeded(root))
+        );
+        assert!(matches!(
+            b.add_child(root),
+            Err(TreeError::ArityExceeded(_))
+        ));
     }
 
     #[test]

@@ -41,7 +41,12 @@ impl Default for SimConfig {
     /// `buffer / (results − warmup)` of the measured rate, from operators
     /// running ahead of the root at the window edges) under ~3%.
     fn default() -> Self {
-        SimConfig { results: 160, warmup: 20, buffer: 4, max_time: 1e7 }
+        SimConfig {
+            results: 160,
+            warmup: 20,
+            buffer: 4,
+            max_time: 1e7,
+        }
     }
 }
 
@@ -187,7 +192,11 @@ pub fn simulate(
                 resources.push(cap);
             }
         }
-        let key = if e.src < e.dst { (e.src, e.dst) } else { (e.dst, e.src) };
+        let key = if e.src < e.dst {
+            (e.src, e.dst)
+        } else {
+            (e.dst, e.src)
+        };
         link_res.entry(key).or_insert_with(|| {
             resources.push(inst.platform.proc_link);
             resources.len() - 1
@@ -196,7 +205,11 @@ pub fn simulate(
     let edge_path: Vec<Vec<usize>> = edges
         .iter()
         .map(|e| {
-            let key = if e.src < e.dst { (e.src, e.dst) } else { (e.dst, e.src) };
+            let key = if e.src < e.dst {
+                (e.src, e.dst)
+            } else {
+                (e.dst, e.src)
+            };
             vec![
                 nic_res[e.src.index()].unwrap(),
                 nic_res[e.dst.index()].unwrap(),
@@ -253,10 +266,8 @@ pub fn simulate(
         for &c in inst.tree.children(op) {
             let local = inst.tree.parent(c).map(|p| p == op).unwrap_or(false)
                 && mapping.proc_of(c) == mapping.proc_of(op);
-            if local {
-                if computed[c.index()] <= r {
-                    return false;
-                }
+            if local && computed[c.index()] <= r {
+                return false;
             }
         }
         for &ei in &remote_in[op.index()] {
@@ -299,8 +310,7 @@ pub fn simulate(
         let mut cpu_active = vec![0.0_f64; mapping.proc_count()];
         for op in inst.tree.ops() {
             if computing[op.index()].is_some() {
-                cpu_active[mapping.proc_of(op).index()] +=
-                    inst.tree.work(op).max(1e-12);
+                cpu_active[mapping.proc_of(op).index()] += inst.tree.work(op).max(1e-12);
             }
         }
         let cpu_rate = |op: OpId, cpu_active: &[f64]| -> f64 {
@@ -337,7 +347,9 @@ pub fn simulate(
         t += dt;
         events += 1;
         if t > config.max_time {
-            return Err(SimError::TimedOut { completed: completion_times.len() });
+            return Err(SimError::TimedOut {
+                completed: completion_times.len(),
+            });
         }
 
         // Advance and collect completions.
@@ -368,7 +380,11 @@ pub fn simulate(
         }
     }
 
-    Ok(SimReport::from_completions(completion_times, config.warmup, events))
+    Ok(SimReport::from_completions(
+        completion_times,
+        config.warmup,
+        events,
+    ))
 }
 
 #[cfg(test)]
@@ -383,8 +399,13 @@ mod tests {
     fn solved(n: usize, alpha: f64, seed: u64) -> (snsp_core::Instance, Mapping) {
         let inst = paper_instance(n, alpha, seed);
         let mut rng = StdRng::seed_from_u64(seed);
-        let sol = solve(&SubtreeBottomUp, &inst, &mut rng, &PipelineOptions::default())
-            .expect("feasible at this alpha");
+        let sol = solve(
+            &SubtreeBottomUp,
+            &inst,
+            &mut rng,
+            &PipelineOptions::default(),
+        )
+        .expect("feasible at this alpha");
         (inst, sol.mapping)
     }
 

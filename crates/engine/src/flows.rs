@@ -43,11 +43,13 @@ pub fn max_min_fair(capacities: &[f64], flows: &[Vec<usize>]) -> Vec<f64> {
                 continue;
             }
             let fill = remaining[r] / n as f64;
-            if best.map_or(true, |(_, b)| fill < b) {
+            if best.is_none_or(|(_, b)| fill < b) {
                 best = Some((r, fill));
             }
         }
-        let Some((bottleneck, fill)) = best else { break };
+        let Some((bottleneck, fill)) = best else {
+            break;
+        };
 
         // Raise every active flow by `fill`, then freeze the flows through
         // the bottleneck.

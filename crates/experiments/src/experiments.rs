@@ -3,9 +3,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use snsp_core::heuristics::{
-    all_heuristics, solve, CommGreedy, PipelineOptions, SubtreeBottomUp,
-};
+use snsp_core::heuristics::{all_heuristics, solve, CommGreedy, PipelineOptions, SubtreeBottomUp};
 use snsp_core::platform::{Catalog, MBPS_PER_GBPS};
 use snsp_engine::{simulate, SimConfig};
 use snsp_gen::{generate, Frequency, ScenarioParams, SizeRange, TreeShape};
@@ -27,19 +25,20 @@ fn cost_header(first: &str) -> Vec<String> {
 
 /// Renders a cost table plus a feasibility table over a one-parameter
 /// sweep. `points` yields `(row-label, params)`.
-fn sweep(
-    title: &str,
-    axis: &str,
-    points: Vec<(String, ScenarioParams)>,
-    seeds: u64,
-) -> Vec<Table> {
+fn sweep(title: &str, axis: &str, points: Vec<(String, ScenarioParams)>, seeds: u64) -> Vec<Table> {
     let mut costs = Table::new(
         format!("{title} — mean cost ($) over feasible runs"),
-        &cost_header(axis).iter().map(String::as_str).collect::<Vec<_>>(),
+        &cost_header(axis)
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
     );
     let mut feas = Table::new(
         format!("{title} — feasible runs out of {seeds}"),
-        &cost_header(axis).iter().map(String::as_str).collect::<Vec<_>>(),
+        &cost_header(axis)
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
     );
     for (label, params) in points {
         let stats = evaluate_point(
@@ -208,18 +207,23 @@ pub fn vs_optimal(seeds: u64) -> Vec<Table> {
             let mut heur_costs: Vec<Vec<f64>> = vec![Vec::new(); heuristic_names().len()];
             let mut all_optimal = true;
             for seed in 0..seeds {
-                let mut inst =
-                    generate(&ScenarioParams::paper(n, alpha), TreeShape::Random, seed);
+                let mut inst = generate(&ScenarioParams::paper(n, alpha), TreeShape::Random, seed);
                 inst.platform.catalog = Catalog::homogeneous(0, 0);
                 let exact = solve_exact(
                     &inst,
-                    &BranchBoundConfig { node_budget: 500_000, upper_bound: None },
+                    &BranchBoundConfig {
+                        node_budget: 500_000,
+                        upper_bound: None,
+                    },
                 );
                 all_optimal &= exact.optimal;
                 let Some(_) = exact.mapping else { continue };
                 opt_costs.push(exact.cost as f64);
                 // In CONSTR-HOM the downgrade step is skipped (paper §5).
-                let opts = PipelineOptions { downgrade: false, ..Default::default() };
+                let opts = PipelineOptions {
+                    downgrade: false,
+                    ..Default::default()
+                };
                 for (h, heur) in all_heuristics().iter().enumerate() {
                     let mut rng = StdRng::seed_from_u64(seed);
                     if let Ok(sol) = solve(heur.as_ref(), &inst, &mut rng, &opts) {
@@ -236,7 +240,11 @@ pub fn vs_optimal(seeds: u64) -> Vec<Table> {
             for costs in &heur_costs {
                 row.push(fmt_cost(mean(costs)));
             }
-            row.push(if all_optimal { "yes".into() } else { "truncated".into() });
+            row.push(if all_optimal {
+                "yes".into()
+            } else {
+                "truncated".into()
+            });
             t.push(row);
         }
     }
@@ -249,7 +257,14 @@ pub fn vs_optimal(seeds: u64) -> Vec<Table> {
 pub fn engine_validation(seeds: u64) -> Vec<Table> {
     let mut t = Table::new(
         "Engine validation — achieved throughput of produced mappings (ρ = 1)",
-        &["N", "heuristic", "runs", "min achieved", "mean achieved", "≤ analytic bound"],
+        &[
+            "N",
+            "heuristic",
+            "runs",
+            "min achieved",
+            "mean achieved",
+            "≤ analytic bound",
+        ],
     );
     let heuristics: [(&str, &dyn snsp_core::heuristics::Heuristic); 2] = [
         ("Subtree-Bottom-Up", &SubtreeBottomUp),
@@ -277,9 +292,21 @@ pub fn engine_validation(seeds: u64) -> Vec<Table> {
                 n.to_string(),
                 name.to_string(),
                 achieved.len().to_string(),
-                if achieved.is_empty() { "-".into() } else { format!("{min:.3}") },
-                if achieved.is_empty() { "-".into() } else { format!("{mean:.3}") },
-                if bounded { "yes".into() } else { "VIOLATED".into() },
+                if achieved.is_empty() {
+                    "-".into()
+                } else {
+                    format!("{min:.3}")
+                },
+                if achieved.is_empty() {
+                    "-".into()
+                } else {
+                    format!("{mean:.3}")
+                },
+                if bounded {
+                    "yes".into()
+                } else {
+                    "VIOLATED".into()
+                },
             ]);
         }
     }
@@ -293,7 +320,16 @@ pub fn mutable_rewriting(seeds: u64) -> Vec<Table> {
     use snsp_core::rewrite::{rewrite, total_intermediate_size, RewriteStrategy};
     let mut t = Table::new(
         "Mutable applications — Subtree-Bottom-Up cost per tree shape",
-        &["N", "alpha", "original", "left-deep", "balanced", "huffman", "Σδ orig", "Σδ huffman"],
+        &[
+            "N",
+            "alpha",
+            "original",
+            "left-deep",
+            "balanced",
+            "huffman",
+            "Σδ orig",
+            "Σδ huffman",
+        ],
     );
     for &(n, alpha) in &[(20usize, 1.7), (60, 1.5), (60, 1.7), (80, 1.7)] {
         let mut cols: [Vec<f64>; 4] = Default::default();
@@ -303,9 +339,24 @@ pub fn mutable_rewriting(seeds: u64) -> Vec<Table> {
             let model = snsp_core::WorkModel::paper(alpha);
             let shapes: [Option<snsp_core::OperatorTree>; 4] = [
                 None,
-                Some(rewrite(&inst.tree, &inst.objects, &model, RewriteStrategy::LeftDeep)),
-                Some(rewrite(&inst.tree, &inst.objects, &model, RewriteStrategy::Balanced)),
-                Some(rewrite(&inst.tree, &inst.objects, &model, RewriteStrategy::HuffmanBySize)),
+                Some(rewrite(
+                    &inst.tree,
+                    &inst.objects,
+                    &model,
+                    RewriteStrategy::LeftDeep,
+                )),
+                Some(rewrite(
+                    &inst.tree,
+                    &inst.objects,
+                    &model,
+                    RewriteStrategy::Balanced,
+                )),
+                Some(rewrite(
+                    &inst.tree,
+                    &inst.objects,
+                    &model,
+                    RewriteStrategy::HuffmanBySize,
+                )),
             ];
             mass.0.push(total_intermediate_size(&inst.tree));
             if let Some(h) = &shapes[3] {
@@ -323,9 +374,12 @@ pub fn mutable_rewriting(seeds: u64) -> Vec<Table> {
                     .expect("rewritten instances validate"),
                 };
                 let mut rng = StdRng::seed_from_u64(seed);
-                if let Ok(sol) =
-                    solve(&SubtreeBottomUp, &variant, &mut rng, &PipelineOptions::default())
-                {
+                if let Ok(sol) = solve(
+                    &SubtreeBottomUp,
+                    &variant,
+                    &mut rng,
+                    &PipelineOptions::default(),
+                ) {
                     cols[i].push(sol.cost as f64);
                 }
             }
@@ -348,7 +402,13 @@ pub fn multi_application(seeds: u64) -> Vec<Table> {
     use snsp_core::multi::{solve_joint, MultiInstance};
     let mut t = Table::new(
         "Multiple applications — joint vs separate platforms (Subtree-Bottom-Up)",
-        &["apps × N", "separate ($)", "joint ($)", "saving", "feasible"],
+        &[
+            "apps × N",
+            "separate ($)",
+            "joint ($)",
+            "saving",
+            "feasible",
+        ],
     );
     for &(n_apps, n) in &[(2usize, 15usize), (3, 15), (3, 30), (4, 20)] {
         let mut seps = Vec::new();
@@ -385,7 +445,12 @@ pub fn multi_application(seeds: u64) -> Vec<Table> {
                 }
             }
             let mut rng = StdRng::seed_from_u64(seed);
-            let joint = solve_joint(&multi, &SubtreeBottomUp, &mut rng, &PipelineOptions::default());
+            let joint = solve_joint(
+                &multi,
+                &SubtreeBottomUp,
+                &mut rng,
+                &PipelineOptions::default(),
+            );
             if let (true, Ok(j)) = (all_ok, joint) {
                 seps.push(separate as f64);
                 joints.push(j.cost as f64);

@@ -42,7 +42,11 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
-    Ok(Args { experiment, seeds, out_dir })
+    Ok(Args {
+        experiment,
+        seeds,
+        out_dir,
+    })
 }
 
 fn usage() -> String {
@@ -79,8 +83,8 @@ fn main() {
     };
     let ids: Vec<&str> = if args.experiment == "all" {
         vec![
-            "table1", "fig2a", "fig2b", "fig3", "fig3n20", "large", "lowfreq",
-            "rates", "vsopt", "engine", "bounds", "mutable", "budget", "multiapp",
+            "table1", "fig2a", "fig2b", "fig3", "fig3n20", "large", "lowfreq", "rates", "vsopt",
+            "engine", "bounds", "mutable", "budget", "multiapp",
         ]
     } else {
         vec![args.experiment.as_str()]

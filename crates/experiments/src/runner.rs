@@ -31,6 +31,10 @@ impl HeurStats {
     }
 }
 
+/// Per-heuristic outcome for one seed: `(cost, proc_count)`, `None` when
+/// infeasible.
+type SeedOutcomes = Vec<Option<(u64, usize)>>;
+
 /// Runs every paper heuristic on `seeds` instances of the scenario and
 /// aggregates costs. Each seed gets its own random tree/platform, exactly
 /// like the paper's averaged simulation points.
@@ -43,14 +47,14 @@ pub fn evaluate_point(
     let seed_list: Vec<u64> = seeds.collect();
     let n_heuristics = all_heuristics().len();
     // per-seed results: cost (None = infeasible) per heuristic.
-    let mut per_seed: Vec<Vec<Option<(u64, usize)>>> = vec![Vec::new(); seed_list.len()];
+    let mut per_seed: Vec<SeedOutcomes> = vec![Vec::new(); seed_list.len()];
 
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(seed_list.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Vec<Option<(u64, usize)>>>> = seed_list
+    let results: Vec<std::sync::Mutex<SeedOutcomes>> = seed_list
         .iter()
         .map(|_| std::sync::Mutex::new(Vec::new()))
         .collect();
@@ -90,8 +94,7 @@ pub fn evaluate_point(
                 .collect();
             let feasible = outcomes.len();
             let mean = |f: &dyn Fn(&(u64, usize)) -> f64| {
-                (feasible > 0)
-                    .then(|| outcomes.iter().map(|o| f(o)).sum::<f64>() / feasible as f64)
+                (feasible > 0).then(|| outcomes.iter().map(|o| f(o)).sum::<f64>() / feasible as f64)
             };
             HeurStats {
                 name: heur.name(),

@@ -11,9 +11,15 @@ pub struct SizeRange {
 
 impl SizeRange {
     /// The paper's "small" objects: 5–30 MB.
-    pub const SMALL: SizeRange = SizeRange { min: 5.0, max: 30.0 };
+    pub const SMALL: SizeRange = SizeRange {
+        min: 5.0,
+        max: 30.0,
+    };
     /// The paper's "large" objects: 450–530 MB.
-    pub const LARGE: SizeRange = SizeRange { min: 450.0, max: 530.0 };
+    pub const LARGE: SizeRange = SizeRange {
+        min: 450.0,
+        max: 530.0,
+    };
 
     /// Midpoint of the range (used by analytic estimates in tests).
     pub fn mean(&self) -> f64 {

@@ -24,10 +24,7 @@ pub enum TreeShape {
 
 /// Draws the 15 object types: each type gets a fixed random size within the
 /// scenario's range and the scenario's frequency.
-pub fn generate_objects<R: Rng + ?Sized>(
-    params: &ScenarioParams,
-    rng: &mut R,
-) -> ObjectCatalog {
+pub fn generate_objects<R: Rng + ?Sized>(params: &ScenarioParams, rng: &mut R) -> ObjectCatalog {
     let mut cat = ObjectCatalog::new();
     for _ in 0..params.n_types {
         let size = rng.gen_range(params.sizes.min..=params.sizes.max);
@@ -38,10 +35,7 @@ pub fn generate_objects<R: Rng + ?Sized>(
 
 /// Builds the paper's platform and distributes the object types over the
 /// servers with the scenario's replication range.
-pub fn generate_platform<R: Rng + ?Sized>(
-    params: &ScenarioParams,
-    rng: &mut R,
-) -> Platform {
+pub fn generate_platform<R: Rng + ?Sized>(params: &ScenarioParams, rng: &mut R) -> Platform {
     let mut platform = Platform::paper(params.n_types);
     platform.servers.truncate(params.n_servers);
     assert!(
@@ -73,13 +67,16 @@ pub fn generate(params: &ScenarioParams, shape: TreeShape, seed: u64) -> Instanc
     };
     tree.apply_work_model(&objects, &WorkModel::new(params.alpha, params.kappa));
     let platform = generate_platform(params, &mut rng);
-    Instance::new(tree, objects, platform, params.rho)
-        .expect("generated instances always validate")
+    Instance::new(tree, objects, platform, params.rho).expect("generated instances always validate")
 }
 
 /// Convenience: the paper's baseline scenario at `(n_ops, alpha)`.
 pub fn paper_instance(n_ops: usize, alpha: f64, seed: u64) -> Instance {
-    generate(&ScenarioParams::paper(n_ops, alpha), TreeShape::Random, seed)
+    generate(
+        &ScenarioParams::paper(n_ops, alpha),
+        TreeShape::Random,
+        seed,
+    )
 }
 
 #[cfg(test)]

@@ -17,7 +17,9 @@
 //! truncated.
 
 use snsp_core::constraints;
-use snsp_core::heuristics::{select_servers, HeuristicError, PlacedGroup, PlacedOps, ServerStrategy};
+use snsp_core::heuristics::{
+    select_servers, HeuristicError, PlacedGroup, PlacedOps, ServerStrategy,
+};
 use snsp_core::ids::{OpId, TypeId};
 use snsp_core::instance::Instance;
 use snsp_core::mapping::Mapping;
@@ -35,7 +37,10 @@ pub struct BranchBoundConfig {
 
 impl Default for BranchBoundConfig {
     fn default() -> Self {
-        BranchBoundConfig { node_budget: 2_000_000, upper_bound: None }
+        BranchBoundConfig {
+            node_budget: 2_000_000,
+            upper_bound: None,
+        }
     }
 }
 
@@ -102,7 +107,12 @@ impl<'a> Search<'a> {
 
     fn push_op(&mut self, g: usize, op: OpId) -> Option<(f64, Vec<TypeId>, f64, u64)> {
         let group = &mut self.groups[g];
-        let saved = (group.work, group.types.clone(), group.dl_rate, group.lb_cost);
+        let saved = (
+            group.work,
+            group.types.clone(),
+            group.dl_rate,
+            group.lb_cost,
+        );
         group.ops.push(op);
         group.work += self.inst.tree.work(op);
         for &ty in self.inst.tree.leaf_types(op) {
@@ -165,7 +175,13 @@ impl<'a> Search<'a> {
         types.dedup();
         let dl_rate: f64 = types.iter().map(|&t| self.inst.object_rate(t)).sum();
         if let Some(lb_cost) = self.group_lb(work, dl_rate) {
-            self.groups.push(GroupState { ops: vec![op], work, types, dl_rate, lb_cost });
+            self.groups.push(GroupState {
+                ops: vec![op],
+                work,
+                types,
+                dl_rate,
+                lb_cost,
+            });
             if self.partial_lb() < self.best_cost {
                 self.dfs(depth + 1);
             }
@@ -219,15 +235,17 @@ impl<'a> Search<'a> {
             self.groups
                 .iter()
                 .zip(&kinds)
-                .map(|(g, &kind)| PlacedGroup { ops: g.ops.clone(), kind })
+                .map(|(g, &kind)| PlacedGroup {
+                    ops: g.ops.clone(),
+                    kind,
+                })
                 .collect(),
             self.inst.tree.len(),
         );
         // Server selection is itself heuristic (three-pass); see DESIGN.md
         // for the optimality caveat this implies.
         let mut rng = NullRng;
-        let Ok(downloads) =
-            select_servers(self.inst, &placed, ServerStrategy::ThreeLoop, &mut rng)
+        let Ok(downloads) = select_servers(self.inst, &placed, ServerStrategy::ThreeLoop, &mut rng)
         else {
             return;
         };
@@ -275,7 +293,10 @@ pub fn solve_exact(inst: &Instance, config: &BranchBoundConfig) -> ExactResult {
 pub fn solve_exhaustive(inst: &Instance) -> ExactResult {
     solve_exact(
         inst,
-        &BranchBoundConfig { node_budget: u64::MAX, upper_bound: None },
+        &BranchBoundConfig {
+            node_budget: u64::MAX,
+            upper_bound: None,
+        },
     )
 }
 
@@ -284,7 +305,9 @@ pub fn optimal_cost(inst: &Instance, config: &BranchBoundConfig) -> Result<u64, 
     let res = solve_exact(inst, config);
     match res.mapping {
         Some(_) => Ok(res.cost),
-        None => Err(HeuristicError::NoFeasibleProcessor { op: inst.tree.root() }),
+        None => Err(HeuristicError::NoFeasibleProcessor {
+            op: inst.tree.root(),
+        }),
     }
 }
 
@@ -316,8 +339,7 @@ mod tests {
             assert!(exact.optimal);
             for h in all_heuristics() {
                 let mut rng = StdRng::seed_from_u64(seed);
-                if let Ok(sol) = solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default())
-                {
+                if let Ok(sol) = solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default()) {
                     assert!(
                         exact.cost <= sol.cost,
                         "seed {seed}: exact {} > {} {}",
@@ -349,7 +371,13 @@ mod tests {
     fn infeasible_instances_return_no_mapping() {
         // α = 2.5 on N = 30: the root operator alone exceeds every CPU.
         let inst = paper_instance(30, 2.5, 2);
-        let res = solve_exact(&inst, &BranchBoundConfig { node_budget: 200_000, upper_bound: None });
+        let res = solve_exact(
+            &inst,
+            &BranchBoundConfig {
+                node_budget: 200_000,
+                upper_bound: None,
+            },
+        );
         assert!(res.mapping.is_none());
     }
 
@@ -358,7 +386,10 @@ mod tests {
         let inst = paper_instance(14, 1.6, 4);
         let res = solve_exact(
             &inst,
-            &BranchBoundConfig { node_budget: 10, upper_bound: None },
+            &BranchBoundConfig {
+                node_budget: 10,
+                upper_bound: None,
+            },
         );
         assert!(!res.optimal);
     }

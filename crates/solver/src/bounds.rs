@@ -54,7 +54,11 @@ pub fn lower_bound(inst: &Instance) -> LowerBound {
         .sum();
     let bandwidth = (total_dl / catalog.best_bandwidth_per_dollar()).ceil() as u64;
 
-    LowerBound { chassis: cheapest, cpu, bandwidth }
+    LowerBound {
+        chassis: cheapest,
+        cpu,
+        bandwidth,
+    }
 }
 
 /// Minimum number of processors any feasible mapping needs, from the CPU

@@ -126,7 +126,10 @@ pub struct IlpOptions {
 
 impl Default for IlpOptions {
     fn default() -> Self {
-        IlpOptions { max_procs: None, pair_links: true }
+        IlpOptions {
+            max_procs: None,
+            pair_links: true,
+        }
     }
 }
 
@@ -393,7 +396,13 @@ mod tests {
     fn disabling_pair_links_shrinks_the_model() {
         let inst = paper_instance(10, 0.9, 2);
         let full = formulate(&inst, &IlpOptions::default());
-        let lean = formulate(&inst, &IlpOptions { pair_links: false, ..Default::default() });
+        let lean = formulate(
+            &inst,
+            &IlpOptions {
+                pair_links: false,
+                ..Default::default()
+            },
+        );
         assert!(lean.n_constraints() < full.n_constraints());
         assert_eq!(lean.n_variables(), full.n_variables());
     }

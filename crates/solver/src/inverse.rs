@@ -58,7 +58,10 @@ pub fn max_throughput_under_budget(
         hi *= 2.0;
         if hi > 1e9 {
             // Effectively unbounded (cannot happen with positive work).
-            return Some(BudgetResult { rho: lo, solution: best });
+            return Some(BudgetResult {
+                rho: lo,
+                solution: best,
+            });
         }
     }
 
@@ -73,7 +76,10 @@ pub fn max_throughput_under_budget(
             None => hi = mid,
         }
     }
-    Some(BudgetResult { rho: lo, solution: best })
+    Some(BudgetResult {
+        rho: lo,
+        solution: best,
+    })
 }
 
 #[cfg(test)]
@@ -89,7 +95,12 @@ mod tests {
             .expect("one chassis affordable");
         let large = max_throughput_under_budget(&inst, &SubtreeBottomUp, 100_000, 0.01, 0)
             .expect("ten chassis affordable");
-        assert!(large.rho >= small.rho * 0.99, "{} < {}", large.rho, small.rho);
+        assert!(
+            large.rho >= small.rho * 0.99,
+            "{} < {}",
+            large.rho,
+            small.rho
+        );
         assert!(small.solution.cost <= 10_000);
         assert!(large.solution.cost <= 100_000);
     }

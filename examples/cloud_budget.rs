@@ -51,7 +51,10 @@ fn main() {
             if n <= 12 {
                 let exact = solve_exact(
                     &inst,
-                    &BranchBoundConfig { node_budget: 300_000, upper_bound: None },
+                    &BranchBoundConfig {
+                        node_budget: 300_000,
+                        upper_bound: None,
+                    },
                 );
                 if exact.mapping.is_some() {
                     opts.push(exact.cost as f64);

@@ -27,7 +27,10 @@ fn main() {
     b.add_leaf(join, feeds[feeds.len() - 1]).unwrap();
     let mut tree = b.finish().unwrap();
     tree.apply_work_model(&objects, &WorkModel::paper(1.3));
-    assert!(tree.is_left_deep(), "a continuous query is a left-deep chain");
+    assert!(
+        tree.is_left_deep(),
+        "a continuous query is a left-deep chain"
+    );
 
     // Collectors: each router's feed is held by exactly one of the six
     // collector servers.
@@ -45,19 +48,14 @@ fn main() {
     // QoS sweep: how much does each extra result per second cost?
     for rho_tenths in [5u32, 10, 20, 40, 80, 160, 320] {
         let rho = rho_tenths as f64 / 10.0;
-        let inst = Instance::new(
-            tree.clone(),
-            objects.clone(),
-            platform.clone(),
-            rho,
-        )
-        .expect("valid instance");
+        let inst = Instance::new(tree.clone(), objects.clone(), platform.clone(), rho)
+            .expect("valid instance");
 
         let mut best: Option<Solution> = None;
         for h in all_heuristics() {
             let mut rng = StdRng::seed_from_u64(11);
             if let Ok(sol) = solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default()) {
-                if best.as_ref().map_or(true, |b| sol.cost < b.cost) {
+                if best.as_ref().is_none_or(|b| sol.cost < b.cost) {
                     best = Some(sol);
                 }
             }

@@ -50,7 +50,7 @@ fn main() {
         match solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default()) {
             Ok(sol) => {
                 println!("{:<20} ${}", h.name(), sol.cost);
-                if best.as_ref().map_or(true, |b| sol.cost < b.cost) {
+                if best.as_ref().is_none_or(|b| sol.cost < b.cost) {
                     best = Some(sol);
                 }
             }

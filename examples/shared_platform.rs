@@ -17,7 +17,10 @@ fn main() {
     // ---------------------------------------------------------------
     let inst = paper_instance(60, 1.7, 3);
     let model = WorkModel::paper(1.7);
-    println!("original tree: Σδ = {:.0} MB", snsp::core::rewrite::total_intermediate_size(&inst.tree));
+    println!(
+        "original tree: Σδ = {:.0} MB",
+        snsp::core::rewrite::total_intermediate_size(&inst.tree)
+    );
 
     let mut best_shape = None;
     for strategy in [
@@ -26,18 +29,17 @@ fn main() {
         RewriteStrategy::HuffmanBySize,
     ] {
         let tree = rewrite(&inst.tree, &inst.objects, &model, strategy);
-        let variant = Instance::new(
-            tree,
-            inst.objects.clone(),
-            inst.platform.clone(),
-            inst.rho,
-        )
-        .unwrap();
+        let variant =
+            Instance::new(tree, inst.objects.clone(), inst.platform.clone(), inst.rho).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
-        let cost: Option<u64> =
-            solve(&SubtreeBottomUp, &variant, &mut rng, &PipelineOptions::default())
-                .ok()
-                .map(|s| s.cost);
+        let cost: Option<u64> = solve(
+            &SubtreeBottomUp,
+            &variant,
+            &mut rng,
+            &PipelineOptions::default(),
+        )
+        .ok()
+        .map(|s| s.cost);
         println!(
             "  {strategy:?}: Σδ = {:.0} MB, cost = {}",
             snsp::core::rewrite::total_intermediate_size(&variant.tree),
@@ -80,8 +82,13 @@ fn main() {
     }
     let multi = MultiInstance::new(apps).unwrap();
     let mut rng = StdRng::seed_from_u64(0);
-    let joint = solve_joint(&multi, &SubtreeBottomUp, &mut rng, &PipelineOptions::default())
-        .expect("joint placement feasible");
+    let joint = solve_joint(
+        &multi,
+        &SubtreeBottomUp,
+        &mut rng,
+        &PipelineOptions::default(),
+    )
+    .expect("joint placement feasible");
     println!("three 20-operator applications:");
     println!("  separate platforms: ${separate}");
     println!(

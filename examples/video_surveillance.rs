@@ -84,7 +84,7 @@ fn main() {
                     sol.cost,
                     sol.mapping.proc_count()
                 );
-                if best.as_ref().map_or(true, |b| sol.cost < b.cost) {
+                if best.as_ref().is_none_or(|b| sol.cost < b.cost) {
                     best = Some(sol);
                 }
             }

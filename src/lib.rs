@@ -60,8 +60,8 @@ pub mod prelude {
     pub use snsp_core::mapping::{Download, Mapping};
     pub use snsp_core::multi::{solve_joint, MultiInstance, MultiSolution};
     pub use snsp_core::object::{ObjectCatalog, ObjectType};
-    pub use snsp_core::rewrite::{rewrite, RewriteStrategy};
     pub use snsp_core::platform::{Catalog, Platform, ProcessorKind, Server};
+    pub use snsp_core::rewrite::{rewrite, RewriteStrategy};
     pub use snsp_core::tree::OperatorTree;
     pub use snsp_core::work::WorkModel;
     pub use snsp_engine::{simulate, SimConfig};

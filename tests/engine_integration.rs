@@ -16,8 +16,7 @@ fn all_heuristics_sustain_rho_in_the_engine() {
         let inst = paper_instance(25, 1.1, seed);
         for h in all_heuristics() {
             let mut rng = StdRng::seed_from_u64(seed);
-            let Ok(sol) = solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default())
-            else {
+            let Ok(sol) = solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default()) else {
                 continue;
             };
             let report = simulate(&inst, &sol.mapping, &SimConfig::default())
@@ -51,13 +50,15 @@ fn engine_respects_the_analytic_bound() {
 
 #[test]
 fn left_deep_chains_pipeline_correctly() {
-    let inst = snsp_gen::generate(
-        &ScenarioParams::paper(20, 1.0),
-        TreeShape::LeftDeep,
-        5,
-    );
+    let inst = snsp_gen::generate(&ScenarioParams::paper(20, 1.0), TreeShape::LeftDeep, 5);
     let mut rng = StdRng::seed_from_u64(5);
-    let sol = solve(&SubtreeBottomUp, &inst, &mut rng, &PipelineOptions::default()).unwrap();
+    let sol = solve(
+        &SubtreeBottomUp,
+        &inst,
+        &mut rng,
+        &PipelineOptions::default(),
+    )
+    .unwrap();
     let report = simulate(&inst, &sol.mapping, &SimConfig::default()).unwrap();
     assert!(report.achieved_throughput >= inst.rho * 0.95);
     // Completion times must be strictly increasing past warm-up.
@@ -73,13 +74,19 @@ fn bigger_buffers_never_slow_the_pipeline() {
     let shallow = simulate(
         &inst,
         &sol.mapping,
-        &SimConfig { buffer: 1, ..Default::default() },
+        &SimConfig {
+            buffer: 1,
+            ..Default::default()
+        },
     )
     .unwrap();
     let deep = simulate(
         &inst,
         &sol.mapping,
-        &SimConfig { buffer: 8, ..Default::default() },
+        &SimConfig {
+            buffer: 8,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(
@@ -96,14 +103,15 @@ fn single_operator_application_runs_at_cpu_speed() {
     let inst = paper_instance(1, 1.0, 7);
     let mut rng = StdRng::seed_from_u64(7);
     let sol = solve(&CompGreedy, &inst, &mut rng, &PipelineOptions::default()).unwrap();
-    let kind = inst
-        .platform
-        .catalog
-        .kind(sol.mapping.proc_kinds[0]);
+    let kind = inst.platform.catalog.kind(sol.mapping.proc_kinds[0]);
     let expected = kind.speed / inst.tree.work(inst.tree.root());
     let report = simulate(&inst, &sol.mapping, &SimConfig::default()).unwrap();
     let rel = (report.achieved_throughput - expected).abs() / expected;
-    assert!(rel < 0.02, "measured {} vs expected {expected}", report.achieved_throughput);
+    assert!(
+        rel < 0.02,
+        "measured {} vs expected {expected}",
+        report.achieved_throughput
+    );
 }
 
 #[test]

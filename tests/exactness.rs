@@ -12,13 +12,14 @@ fn exact_cost_is_sandwiched_between_bound_and_heuristics() {
             let inst = paper_instance(n, alpha, seed);
             let exact = solve_exact(&inst, &BranchBoundConfig::default());
             assert!(exact.optimal, "N={n} should be exhaustively searchable");
-            let Some(mapping) = &exact.mapping else { continue };
+            let Some(mapping) = &exact.mapping else {
+                continue;
+            };
             assert!(is_feasible(&inst, mapping), "exact mapping must verify");
             assert!(exact.cost >= lower_bound(&inst).value());
             for h in all_heuristics() {
                 let mut rng = StdRng::seed_from_u64(seed);
-                if let Ok(sol) = solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default())
-                {
+                if let Ok(sol) = solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default()) {
                     assert!(
                         exact.cost <= sol.cost,
                         "exact {} > {} {} (N={n} α={alpha} seed={seed})",
@@ -80,7 +81,10 @@ fn subtree_bottom_up_matches_optimum_on_homogeneous_instances() {
         let exact = solve_exact(&inst, &BranchBoundConfig::default());
         let Some(_) = exact.mapping else { continue };
         let mut rng = StdRng::seed_from_u64(seed);
-        let opts = PipelineOptions { downgrade: false, ..Default::default() };
+        let opts = PipelineOptions {
+            downgrade: false,
+            ..Default::default()
+        };
         if let Ok(sol) = solve(&SubtreeBottomUp, &inst, &mut rng, &opts) {
             total += 1;
             if sol.cost == exact.cost {
@@ -88,7 +92,10 @@ fn subtree_bottom_up_matches_optimum_on_homogeneous_instances() {
             }
         }
     }
-    assert!(total >= 4, "expected most homogeneous instances to be solvable");
+    assert!(
+        total >= 4,
+        "expected most homogeneous instances to be solvable"
+    );
     assert!(
         hits * 2 >= total,
         "Subtree-Bottom-Up should match the optimum in most cases ({hits}/{total})"

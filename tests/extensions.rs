@@ -18,8 +18,7 @@ fn huffman_rewrite_never_increases_intermediate_traffic() {
             RewriteStrategy::HuffmanBySize,
         );
         assert!(
-            total_intermediate_size(&huffman)
-                <= total_intermediate_size(&inst.tree) + 1e-6,
+            total_intermediate_size(&huffman) <= total_intermediate_size(&inst.tree) + 1e-6,
             "seed {seed}"
         );
         // The rewritten tree is a valid instance over the same platform.
@@ -39,9 +38,12 @@ fn rewritten_instances_map_feasibly_when_the_original_does() {
     for seed in 0..3u64 {
         let inst = paper_instance(30, 1.5, seed);
         let mut rng = StdRng::seed_from_u64(seed);
-        let Ok(original) =
-            solve(&SubtreeBottomUp, &inst, &mut rng, &PipelineOptions::default())
-        else {
+        let Ok(original) = solve(
+            &SubtreeBottomUp,
+            &inst,
+            &mut rng,
+            &PipelineOptions::default(),
+        ) else {
             continue;
         };
         let model = WorkModel::paper(1.5);
@@ -51,13 +53,21 @@ fn rewritten_instances_map_feasibly_when_the_original_does() {
             &model,
             RewriteStrategy::HuffmanBySize,
         );
-        let variant =
-            Instance::new(huffman, inst.objects.clone(), inst.platform.clone(), inst.rho)
-                .unwrap();
+        let variant = Instance::new(
+            huffman,
+            inst.objects.clone(),
+            inst.platform.clone(),
+            inst.rho,
+        )
+        .unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
-        let rewritten =
-            solve(&SubtreeBottomUp, &variant, &mut rng, &PipelineOptions::default())
-                .expect("huffman shape is easier, never harder");
+        let rewritten = solve(
+            &SubtreeBottomUp,
+            &variant,
+            &mut rng,
+            &PipelineOptions::default(),
+        )
+        .expect("huffman shape is easier, never harder");
         assert!(is_feasible(&variant, &rewritten.mapping));
         // Not asserted ≤ in general (heuristic noise), but it should
         // never be catastrophically worse.
@@ -70,8 +80,7 @@ fn rewritten_mappings_run_in_the_engine() {
     let inst = paper_instance(25, 1.4, 9);
     let model = WorkModel::paper(1.4);
     let tree = rewrite(&inst.tree, &inst.objects, &model, RewriteStrategy::Balanced);
-    let variant =
-        Instance::new(tree, inst.objects.clone(), inst.platform.clone(), 1.0).unwrap();
+    let variant = Instance::new(tree, inst.objects.clone(), inst.platform.clone(), 1.0).unwrap();
     let mut rng = StdRng::seed_from_u64(9);
     let sol = solve(&CommGreedy, &variant, &mut rng, &PipelineOptions::default()).unwrap();
     let report = simulate(&variant, &sol.mapping, &SimConfig::default()).unwrap();
@@ -107,9 +116,18 @@ fn joint_placement_beats_separate_platforms() {
                 .cost;
         }
         let mut rng = StdRng::seed_from_u64(seed);
-        let joint = solve_joint(&multi, &SubtreeBottomUp, &mut rng, &PipelineOptions::default())
-            .unwrap();
-        assert!(joint.cost <= separate, "seed {seed}: {} > {separate}", joint.cost);
+        let joint = solve_joint(
+            &multi,
+            &SubtreeBottomUp,
+            &mut rng,
+            &PipelineOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            joint.cost <= separate,
+            "seed {seed}: {} > {separate}",
+            joint.cost
+        );
         // Every app's projection covers its operators and downloads.
         for k in 0..multi.apps.len() {
             let mapping = joint.mapping_for(&multi, k);
@@ -122,8 +140,13 @@ fn joint_placement_beats_separate_platforms() {
 fn joint_solutions_verify_under_aggregate_constraints() {
     let multi = shared_apps(4, 12, 2);
     let mut rng = StdRng::seed_from_u64(2);
-    let joint =
-        solve_joint(&multi, &SubtreeBottomUp, &mut rng, &PipelineOptions::default()).unwrap();
+    let joint = solve_joint(
+        &multi,
+        &SubtreeBottomUp,
+        &mut rng,
+        &PipelineOptions::default(),
+    )
+    .unwrap();
     assert!(snsp_core::multi::verify_joint(&multi, &joint).is_ok());
     // Cost bookkeeping is consistent.
     let recomputed: u64 = joint
@@ -139,9 +162,7 @@ fn budget_throughput_is_monotone_in_budget() {
     let inst = paper_instance(20, 1.2, 4);
     let mut last = 0.0;
     for budget in [8_000u64, 25_000, 80_000] {
-        if let Some(res) =
-            max_throughput_under_budget(&inst, &SubtreeBottomUp, budget, 0.02, 0)
-        {
+        if let Some(res) = max_throughput_under_budget(&inst, &SubtreeBottomUp, budget, 0.02, 0) {
             assert!(
                 res.rho >= last * 0.98,
                 "budget {budget}: ρ {} < previous {last}",

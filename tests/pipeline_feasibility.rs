@@ -33,8 +33,7 @@ fn every_ok_solution_is_feasible_and_above_the_lower_bound() {
             let lb = lower_bound(&inst).value();
             for h in all_heuristics() {
                 let mut rng = StdRng::seed_from_u64(seed);
-                if let Ok(sol) = solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default())
-                {
+                if let Ok(sol) = solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default()) {
                     let violations = check(&inst, &sol.mapping);
                     assert!(
                         violations.is_empty(),
@@ -80,11 +79,7 @@ fn rho_zero_point_five_is_never_harder_than_rho_one() {
     // Halving the throughput requirement can only help: any heuristic
     // feasible at ρ = 1 must stay feasible at ρ = 0.5 with cost no larger.
     for seed in 0..3u64 {
-        let hard = snsp_gen::generate(
-            &ScenarioParams::paper(40, 1.6),
-            TreeShape::Random,
-            seed,
-        );
+        let hard = snsp_gen::generate(&ScenarioParams::paper(40, 1.6), TreeShape::Random, seed);
         let easy = snsp_gen::generate(
             &ScenarioParams::paper(40, 1.6).with_rho(0.5),
             TreeShape::Random,
@@ -96,9 +91,8 @@ fn rho_zero_point_five_is_never_harder_than_rho_one() {
             let mut rng = StdRng::seed_from_u64(seed);
             let easy_sol = solve(h.as_ref(), &easy, &mut rng, &PipelineOptions::default());
             if let Ok(hs) = hard_sol {
-                let es = easy_sol.unwrap_or_else(|e| {
-                    panic!("{} feasible at ρ=1 but not ρ=0.5: {e}", h.name())
-                });
+                let es = easy_sol
+                    .unwrap_or_else(|e| panic!("{} feasible at ρ=1 but not ρ=0.5: {e}", h.name()));
                 assert!(
                     es.cost <= hs.cost,
                     "{}: ρ=0.5 cost {} > ρ=1 cost {}",
@@ -129,7 +123,13 @@ fn infeasible_instances_fail_for_every_heuristic() {
 fn downloads_are_deduplicated_per_processor() {
     let inst = paper_instance(50, 0.9, 2);
     let mut rng = StdRng::seed_from_u64(2);
-    let sol = solve(&SubtreeBottomUp, &inst, &mut rng, &PipelineOptions::default()).unwrap();
+    let sol = solve(
+        &SubtreeBottomUp,
+        &inst,
+        &mut rng,
+        &PipelineOptions::default(),
+    )
+    .unwrap();
     for u in sol.mapping.proc_ids() {
         let mut seen = std::collections::BTreeSet::new();
         for (ty, _) in sol.mapping.downloads_of(u) {

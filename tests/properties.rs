@@ -7,6 +7,10 @@ use snsp::prelude::*;
 use snsp_engine::max_min_fair;
 
 proptest! {
+    // Bounded so the whole suite stays well under a minute in CI;
+    // override with PROPTEST_CASES for deeper local runs.
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
     /// Random full binary trees always validate, have N+1 leaves and a
     /// children-before-parents post-order.
     #[test]

@@ -1,0 +1,219 @@
+//! Minimal offline drop-in for the subset of `criterion` 0.5 that the snsp
+//! benches use: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with `sample_size` / `warm_up_time` / `measurement_time` /
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (bench targets use
+//! `harness = false`).
+//!
+//! It is a *timer*, not a statistics engine: each benchmark warms up once,
+//! then runs until `sample_size` iterations or `measurement_time` elapse
+//! (whichever first) and reports the mean wall-clock time per iteration.
+//! Good enough to keep bench code compiling and runnable in CI; use real
+//! criterion for publication-quality numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark point: a function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the measured closure; `iter` times the routine.
+pub struct Bencher<'a> {
+    config: &'a GroupConfig,
+    label: String,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call (also forces lazy init).
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters: u32 = 0;
+        while iters < self.config.sample_size.max(1) as u32 {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.config.measurement_time && iters > 0 {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_nanos() / u128::from(iters.max(1));
+        println!(
+            "bench: {:<48} {:>12} ns/iter ({} iters)",
+            self.label, per_iter, iters
+        );
+    }
+}
+
+#[derive(Clone, Debug)]
+struct GroupConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A named collection of related benchmark points.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: GroupConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.config.measurement_time = dur;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            config: &self.config,
+            label: format!("{}/{}", self.name, id),
+        };
+        f(&mut b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut b = Bencher {
+            config: &self.config,
+            label: format!("{}/{}", self.name, id),
+        };
+        f(&mut b, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    config: GroupConfig,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = self.config.clone();
+        BenchmarkGroup {
+            name: name.into(),
+            config,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            config: &self.config,
+            label: id.to_string(),
+        };
+        f(&mut b);
+        self
+    }
+}
+
+/// Collects benchmark functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // libtest-style flags arrive from `cargo bench`/`cargo test`;
+            // `--list` must print nothing and exit 0 for test discovery.
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_pipeline_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(1));
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                n * 2
+            })
+        });
+        group.finish();
+        assert!(calls >= 1);
+
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,147 @@
+//! Minimal, dependency-free drop-in for the subset of `rand_chacha` the
+//! snsp workspace may use: seedable, reproducible [`ChaCha8Rng`] /
+//! [`ChaCha20Rng`] implementing the vendored `rand::RngCore`.
+//!
+//! This is a real ChaCha keystream generator (RFC 8439 quarter-round),
+//! which keeps the crate honest as a *deterministic stream* source; it is
+//! NOT hardened or audited — test/experiment use only.
+
+use rand::{Error, RngCore, SeedableRng};
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr) => {
+        /// Deterministic ChaCha keystream generator.
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            stream: u64,
+            buf: [u32; 16],
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+                let mut x = [0u32; 16];
+                x[..4].copy_from_slice(&SIGMA);
+                x[4..12].copy_from_slice(&self.key);
+                x[12] = self.counter as u32;
+                x[13] = (self.counter >> 32) as u32;
+                x[14] = self.stream as u32;
+                x[15] = (self.stream >> 32) as u32;
+                let input = x;
+                for _ in 0..($rounds / 2) {
+                    quarter(&mut x, 0, 4, 8, 12);
+                    quarter(&mut x, 1, 5, 9, 13);
+                    quarter(&mut x, 2, 6, 10, 14);
+                    quarter(&mut x, 3, 7, 11, 15);
+                    quarter(&mut x, 0, 5, 10, 15);
+                    quarter(&mut x, 1, 6, 11, 12);
+                    quarter(&mut x, 2, 7, 8, 13);
+                    quarter(&mut x, 3, 4, 9, 14);
+                }
+                for (o, i) in x.iter_mut().zip(input.iter()) {
+                    *o = o.wrapping_add(*i);
+                }
+                self.buf = x;
+                self.index = 0;
+                self.counter = self.counter.wrapping_add(1);
+            }
+
+            /// Selects an independent stream (nonce), as in `rand_chacha`.
+            pub fn set_stream(&mut self, stream: u64) {
+                self.stream = stream;
+                self.index = 16;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (i, word) in key.iter_mut().enumerate() {
+                    let mut b = [0u8; 4];
+                    b.copy_from_slice(&seed[i * 4..(i + 1) * 4]);
+                    *word = u32::from_le_bytes(b);
+                }
+                $name {
+                    key,
+                    counter: 0,
+                    stream: 0,
+                    buf: [0; 16],
+                    index: 16,
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let w = self.buf[self.index];
+                self.index += 1;
+                w
+            }
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for chunk in dest.chunks_mut(4) {
+                    let b = self.next_u32().to_le_bytes();
+                    chunk.copy_from_slice(&b[..chunk.len()]);
+                }
+            }
+            fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+                self.fill_bytes(dest);
+                Ok(())
+            }
+        }
+    };
+}
+
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+chacha_rng!(ChaCha8Rng, 8);
+chacha_rng!(ChaCha12Rng, 12);
+chacha_rng!(ChaCha20Rng, 20);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_block_one() {
+        // RFC 8439 §2.3.2 test vector: key 00..1f, counter 1,
+        // nonce 00000009_0000004a_00000000. Our layout splits the 96-bit
+        // nonce differently (64-bit stream), so check the keystream is at
+        // least deterministic and seed-sensitive instead.
+        let mut a = ChaCha20Rng::seed_from_u64(1);
+        let mut b = ChaCha20Rng::seed_from_u64(1);
+        let mut c = ChaCha20Rng::seed_from_u64(2);
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        b.set_stream(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}
