@@ -1,0 +1,45 @@
+//! Campaign-engine scaling: one reduced Fig. 2-style grid executed by the
+//! `snsp-sweep` pool at 1 worker (the serial baseline) and at the
+//! machine's full parallelism. The ratio between the two is the sweep
+//! subsystem's speedup, which CI tracks via the `bench-snapshot`
+//! artifact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snsp_gen::ScenarioParams;
+use snsp_sweep::{run_campaign, Campaign, PointSpec};
+
+fn reduced_grid(seeds: u64, workers: usize) -> Campaign {
+    let points = [20usize, 40, 60]
+        .into_iter()
+        .map(|n| PointSpec::new(n.to_string(), ScenarioParams::paper(n, 0.9)))
+        .collect();
+    Campaign::new("bench_sweep", points, seeds).with_workers(workers)
+}
+
+fn sweep_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_campaign");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let max_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    // On a single-core machine both entries would collapse to the same
+    // benchmark id, which criterion rejects.
+    let worker_counts: Vec<usize> = if max_workers > 1 {
+        vec![1, max_workers]
+    } else {
+        vec![1]
+    };
+    for workers in worker_counts {
+        group.bench_with_input(
+            BenchmarkId::new("reduced_fig2", format!("{workers}w")),
+            &workers,
+            |b, &w| b.iter(|| run_campaign(&reduced_grid(3, w))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sweep_scaling);
+criterion_main!(benches);

@@ -7,10 +7,7 @@
 //! polynomial heuristics (the paper's complexity claim) and the exact
 //! solver run on those inputs.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use snsp_core::heuristics::{solve, Heuristic, PipelineOptions, Solution};
+use snsp_core::heuristics::{solve_seeded, Heuristic, PipelineOptions, Solution};
 use snsp_core::instance::Instance;
 use snsp_gen::{generate, ScenarioParams, TreeShape};
 
@@ -20,10 +17,10 @@ pub fn bench_instance(params: &ScenarioParams, seed: u64) -> Instance {
 }
 
 /// Runs one heuristic end-to-end (placement + servers + downgrade +
-/// verification); returns the solution when feasible.
+/// verification); returns the solution when feasible. Uses the Send-safe
+/// seeded entry point, so bench closures can fan out across threads.
 pub fn run_pipeline(h: &dyn Heuristic, inst: &Instance, seed: u64) -> Option<Solution> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    solve(h, inst, &mut rng, &PipelineOptions::default()).ok()
+    solve_seeded(h, inst, seed, &PipelineOptions::default()).ok()
 }
 
 /// Runs one heuristic with explicit pipeline options.
@@ -33,8 +30,7 @@ pub fn run_pipeline_with(
     seed: u64,
     opts: &PipelineOptions,
 ) -> Option<Solution> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    solve(h, inst, &mut rng, opts).ok()
+    solve_seeded(h, inst, seed, opts).ok()
 }
 
 #[cfg(test)]

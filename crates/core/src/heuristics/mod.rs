@@ -19,7 +19,7 @@ pub mod subtree;
 #[cfg(test)]
 pub(crate) mod test_support;
 
-use rand::RngCore;
+use rand::{RngCore, SeedableRng};
 
 pub use comm_greedy::CommGreedy;
 pub use common::{
@@ -38,7 +38,10 @@ use crate::instance::Instance;
 use crate::mapping::Mapping;
 
 /// An operator-placement heuristic (paper §4.1).
-pub trait Heuristic: Sync {
+///
+/// `Send + Sync` are supertraits so `dyn Heuristic` (and boxes thereof)
+/// can be shared across a worker pool — see `snsp-sweep`.
+pub trait Heuristic: Send + Sync {
     /// Display name matching the paper's figures.
     fn name(&self) -> &'static str;
 
@@ -122,6 +125,21 @@ pub fn solve(
     })
 }
 
+/// Send-safe pipeline entry point: derives the RNG internally from
+/// `seed`, so parallel callers (one job per thread) need not share or
+/// ship `RngCore` state across threads. The result is a pure function of
+/// `(heuristic, inst, seed, opts)` — the cornerstone of `snsp-sweep`'s
+/// scheduling-independent determinism.
+pub fn solve_seeded(
+    heuristic: &dyn Heuristic,
+    inst: &Instance,
+    seed: u64,
+    opts: &PipelineOptions,
+) -> Result<Solution, HeuristicError> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    solve(heuristic, inst, &mut rng, opts)
+}
+
 /// All six paper heuristics, in the paper's presentation order.
 pub fn all_heuristics() -> Vec<Box<dyn Heuristic>> {
     vec![
@@ -185,6 +203,32 @@ mod tests {
                     b.cost
                 );
             }
+        }
+    }
+
+    #[test]
+    fn solve_seeded_matches_explicit_rng() {
+        let inst = test_support::paper_like_instance(20, 0.9, 61);
+        for h in all_heuristics() {
+            let mut rng = StdRng::seed_from_u64(9);
+            let explicit = solve(h.as_ref(), &inst, &mut rng, &PipelineOptions::default());
+            let seeded = solve_seeded(h.as_ref(), &inst, 9, &PipelineOptions::default());
+            match (explicit, seeded) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.cost, b.cost, "{}", h.name());
+                    assert_eq!(a.mapping.proc_count(), b.mapping.proc_count());
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("{}: {a:?} vs {b:?} diverged", h.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn heuristics_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        for h in all_heuristics() {
+            assert_send_sync(&h);
         }
     }
 

@@ -117,6 +117,41 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_link_starves_its_flows_only() {
+        // Flow 0 crosses a dead link: it must get rate 0 and, crucially,
+        // the algorithm must still terminate and hand flow 1 the whole
+        // shared NIC — a dead link must not wedge the filling loop when
+        // many engine threads drive it concurrently.
+        let rates = max_min_fair(&[0.0, 100.0], &[vec![0, 1], vec![1]]);
+        assert_eq!(rates[0], 0.0);
+        assert!((rates[1] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_zero_capacities_terminate_with_zero_rates() {
+        let rates = max_min_fair(&[0.0, 0.0], &[vec![0], vec![0, 1], vec![1]]);
+        assert_eq!(rates, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn single_flow_saturates_its_only_resource_exactly() {
+        // One flow, one resource: the allocation must hit the capacity
+        // exactly (no progressive-filling residue), which downstream
+        // steady-state checks compare against with equality.
+        let rates = max_min_fair(&[42.0], &[vec![0]]);
+        assert_eq!(rates, vec![42.0]);
+    }
+
+    #[test]
+    fn single_flow_repeated_resource_still_terminates() {
+        // A flow listing the same resource twice (sender and receiver on
+        // one NIC) is counted as two users of that resource; the flow
+        // settles at half the capacity and the loop still terminates.
+        let rates = max_min_fair(&[10.0], &[vec![0, 0]]);
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn allocation_never_exceeds_capacity() {
         // Randomish structured case: 4 flows over 3 resources.
         let caps = [30.0, 20.0, 25.0];

@@ -7,56 +7,136 @@ use snsp_core::heuristics::{all_heuristics, solve, CommGreedy, PipelineOptions, 
 use snsp_core::platform::{Catalog, MBPS_PER_GBPS};
 use snsp_engine::{simulate, SimConfig};
 use snsp_gen::{generate, Frequency, ScenarioParams, SizeRange, TreeShape};
-use snsp_solver::{lower_bound, solve_exact, BranchBoundConfig};
+use snsp_solver::lower_bound;
+use snsp_sweep::{run_campaign, Campaign, CampaignReport, PointSpec, ReferenceConfig};
 
-use crate::runner::evaluate_point;
 use crate::table::{fmt_cost, Table};
 
-/// Heuristic names in presentation order (column headers).
-pub fn heuristic_names() -> Vec<&'static str> {
-    all_heuristics().iter().map(|h| h.name()).collect()
+/// Runs one campaign over all grid points at once (the pool parallelizes
+/// across points × heuristics × seeds) and renders a cost table plus a
+/// feasibility table.
+fn sweep(title: &str, axis: &str, campaign: &Campaign) -> Vec<Table> {
+    report_tables(&run_campaign(campaign), title, axis)
 }
 
-fn cost_header(first: &str) -> Vec<String> {
-    let mut h = vec![first.to_string()];
-    h.extend(heuristic_names().iter().map(|s| s.to_string()));
-    h
-}
-
-/// Renders a cost table plus a feasibility table over a one-parameter
-/// sweep. `points` yields `(row-label, params)`.
-fn sweep(title: &str, axis: &str, points: Vec<(String, ScenarioParams)>, seeds: u64) -> Vec<Table> {
+/// Renders the classic cost/feasibility table pair from a campaign
+/// report (the human-readable view of `BENCH_sweep.json`).
+pub fn report_tables(report: &CampaignReport, title: &str, axis: &str) -> Vec<Table> {
+    let mut header = vec![axis.to_string()];
+    header.extend(report.heuristic_names.iter().map(|s| s.to_string()));
+    let has_reference = report.points.iter().any(|p| p.reference.is_some());
+    if has_reference {
+        header.push("exact".to_string());
+        header.push("exact optimal?".to_string());
+    }
+    let header: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut costs = Table::new(
         format!("{title} — mean cost ($) over feasible runs"),
-        &cost_header(axis)
-            .iter()
-            .map(String::as_str)
-            .collect::<Vec<_>>(),
+        &header,
     );
     let mut feas = Table::new(
-        format!("{title} — feasible runs out of {seeds}"),
-        &cost_header(axis)
-            .iter()
-            .map(String::as_str)
-            .collect::<Vec<_>>(),
+        format!("{title} — feasible runs out of {}", report.seeds),
+        &header,
     );
-    for (label, params) in points {
-        let stats = evaluate_point(
-            &params,
-            TreeShape::Random,
-            0..seeds,
-            &PipelineOptions::default(),
-        );
-        let mut cost_row = vec![label.clone()];
-        let mut feas_row = vec![label];
-        for s in &stats {
+    for point in &report.points {
+        let mut cost_row = vec![point.label.clone()];
+        let mut feas_row = vec![point.label.clone()];
+        for s in &point.heuristics {
             cost_row.push(fmt_cost(s.mean_cost));
             feas_row.push(format!("{}", s.feasible));
+        }
+        if has_reference {
+            match &point.reference {
+                Some(r) => {
+                    cost_row.push(fmt_cost(r.mean_cost));
+                    cost_row.push(if r.optimal { "yes" } else { "truncated" }.into());
+                    feas_row.push(format!("{}", r.solved));
+                    feas_row.push("-".into());
+                }
+                None => {
+                    cost_row.extend(["-".to_string(), "-".to_string()]);
+                    feas_row.extend(["-".to_string(), "-".to_string()]);
+                }
+            }
         }
         costs.push(cost_row);
         feas.push(feas_row);
     }
     vec![costs, feas]
+}
+
+fn points_of(points: impl IntoIterator<Item = (String, ScenarioParams)>) -> Vec<PointSpec> {
+    points
+        .into_iter()
+        .map(|(label, params)| PointSpec::new(label, params))
+        .collect()
+}
+
+/// The named campaign grids behind the `sweep` CLI subcommand and the CI
+/// `bench-snapshot` job. `ci` is a deliberately small fixed grid with an
+/// exact reference column, cheap enough to run on every push.
+pub fn grid(id: &str, seeds: u64) -> Option<Campaign> {
+    let campaign = match id {
+        "fig2a" => Campaign::new(id, fig2_points(0.9), seeds),
+        "fig2b" => Campaign::new(id, fig2_points(1.7), seeds),
+        "fig3" => Campaign::new(id, fig3_points(60), seeds),
+        "fig3n20" => Campaign::new(id, fig3_points(20), seeds),
+        "large" => Campaign::new(id, large_points(), seeds),
+        "lowfreq" => Campaign::new(id, lowfreq_points(), seeds),
+        "ci" => Campaign::new(
+            id,
+            points_of(
+                [8usize, 12, 20, 60]
+                    .into_iter()
+                    .map(|n| (n.to_string(), ScenarioParams::paper(n, 0.9))),
+            ),
+            seeds,
+        )
+        .with_reference(ReferenceConfig {
+            max_ops: 12,
+            node_budget: 200_000,
+        }),
+        _ => return None,
+    };
+    Some(campaign)
+}
+
+/// Every grid id accepted by [`grid`].
+pub const GRID_IDS: &[&str] = &[
+    "fig2a", "fig2b", "fig3", "fig3n20", "large", "lowfreq", "ci",
+];
+
+fn fig2_points(alpha: f64) -> Vec<PointSpec> {
+    points_of(
+        (20..=140)
+            .step_by(20)
+            .map(|n| (n.to_string(), ScenarioParams::paper(n, alpha))),
+    )
+}
+
+fn fig3_points(n: usize) -> Vec<PointSpec> {
+    points_of((5..=25).map(|a| {
+        let alpha = a as f64 / 10.0;
+        (format!("{alpha:.1}"), ScenarioParams::paper(n, alpha))
+    }))
+}
+
+fn large_points() -> Vec<PointSpec> {
+    points_of((5..=65).step_by(10).map(|n| {
+        (
+            n.to_string(),
+            ScenarioParams::paper(n, 0.9).with_sizes(SizeRange::LARGE),
+        )
+    }))
+}
+
+fn lowfreq_points() -> Vec<PointSpec> {
+    points_of((20..=140).step_by(20).map(|n| {
+        (
+            n.to_string(),
+            ScenarioParams::paper(n, 0.9).with_freq(Frequency::LOW),
+        )
+    }))
 }
 
 /// Table 1: the purchase catalog with the paper's price/performance ratios.
@@ -92,71 +172,39 @@ pub fn table1() -> Vec<Table> {
 
 /// Fig. 2(a)/(b): cost vs N, high frequency, small objects, fixed α.
 pub fn fig2(alpha: f64, seeds: u64) -> Vec<Table> {
-    let points = (20..=140)
-        .step_by(20)
-        .map(|n| (n.to_string(), ScenarioParams::paper(n, alpha)))
-        .collect();
     sweep(
         &format!("Fig. 2 (α = {alpha}) — high frequency, small objects"),
         "N",
-        points,
-        seeds,
+        &Campaign::new("fig2", fig2_points(alpha), seeds),
     )
 }
 
 /// Fig. 3: cost vs α at fixed N (the paper shows N = 60 and discusses
 /// N = 20).
 pub fn fig3(n: usize, seeds: u64) -> Vec<Table> {
-    let points = (5..=25)
-        .map(|a| {
-            let alpha = a as f64 / 10.0;
-            (format!("{alpha:.1}"), ScenarioParams::paper(n, alpha))
-        })
-        .collect();
     sweep(
         &format!("Fig. 3 (N = {n}) — cost vs α, high frequency, small objects"),
         "alpha",
-        points,
-        seeds,
+        &Campaign::new("fig3", fig3_points(n), seeds),
     )
 }
 
 /// §5 text: large objects (450–530 MB); feasibility collapses past N ≈ 45.
 pub fn large_objects(seeds: u64) -> Vec<Table> {
-    let points = (5..=65)
-        .step_by(10)
-        .map(|n| {
-            (
-                n.to_string(),
-                ScenarioParams::paper(n, 0.9).with_sizes(SizeRange::LARGE),
-            )
-        })
-        .collect();
     sweep(
         "Large objects (450–530 MB), α = 0.9, high frequency",
         "N",
-        points,
-        seeds,
+        &Campaign::new("large", large_points(), seeds),
     )
 }
 
 /// §5 text: low download frequency (1/50 s) mirrors the high-frequency
 /// ranking with cheaper network cards.
 pub fn low_frequency(seeds: u64) -> Vec<Table> {
-    let points = (20..=140)
-        .step_by(20)
-        .map(|n| {
-            (
-                n.to_string(),
-                ScenarioParams::paper(n, 0.9).with_freq(Frequency::LOW),
-            )
-        })
-        .collect();
     sweep(
         "Low frequency (1/50 s), small objects, α = 0.9",
         "N",
-        points,
-        seeds,
+        &Campaign::new("lowfreq", lowfreq_points(), seeds),
     )
 }
 
@@ -171,84 +219,50 @@ pub fn rate_sweep(seeds: u64) -> Vec<Table> {
     ];
     let mut tables = Vec::new();
     for n in [60usize, 160] {
-        let points = freqs
-            .iter()
-            .map(|&(label, f)| {
-                (
-                    label.to_string(),
-                    ScenarioParams::paper(n, 0.9).with_freq(Frequency(f)),
-                )
-            })
-            .collect();
+        let points = points_of(freqs.iter().map(|&(label, f)| {
+            (
+                label.to_string(),
+                ScenarioParams::paper(n, 0.9).with_freq(Frequency(f)),
+            )
+        }));
         tables.extend(sweep(
             &format!("Download-rate sweep, N = {n}, α = 0.9"),
             "freq (1/s)",
-            points,
-            seeds,
+            &Campaign::new("rates", points, seeds),
         ));
     }
     tables
 }
 
 /// §5 last experiment: heuristics vs the exact optimum on small
-/// homogeneous (CONSTR-HOM) instances.
+/// homogeneous (CONSTR-HOM) instances — a reference-column campaign over
+/// a homogeneous catalog with the downgrade pass disabled (paper §5).
+///
+/// Unlike the seed harness, heuristic means cover *all* seeds rather
+/// than only those the B&B solved; when the two column families average
+/// different seed sets the `exact optimal?` column reads `truncated`,
+/// flagging that they are not directly comparable.
 pub fn vs_optimal(seeds: u64) -> Vec<Table> {
-    let mut header = vec!["N".to_string(), "alpha".to_string(), "optimal".to_string()];
-    header.extend(heuristic_names().iter().map(|s| s.to_string()));
-    header.push("BB optimal?".to_string());
-    let mut t = Table::new(
+    let points = points_of([0.9, 1.3].into_iter().flat_map(|alpha| {
+        [4usize, 8, 12, 16, 20]
+            .into_iter()
+            .map(move |n| (format!("N={n} α={alpha}"), ScenarioParams::paper(n, alpha)))
+    }));
+    let campaign = Campaign::new("vsopt", points, seeds)
+        .with_catalog(Catalog::homogeneous(0, 0))
+        .with_opts(PipelineOptions {
+            downgrade: false,
+            ..Default::default()
+        })
+        .with_reference(ReferenceConfig {
+            max_ops: 20,
+            node_budget: 500_000,
+        });
+    sweep(
         "Heuristics vs exact optimum — CONSTR-HOM (entry CPU, 1 Gbps NIC)",
-        &header.iter().map(String::as_str).collect::<Vec<_>>(),
-    );
-
-    for &alpha in &[0.9, 1.3] {
-        for n in [4usize, 8, 12, 16, 20] {
-            let mut opt_costs: Vec<f64> = Vec::new();
-            let mut heur_costs: Vec<Vec<f64>> = vec![Vec::new(); heuristic_names().len()];
-            let mut all_optimal = true;
-            for seed in 0..seeds {
-                let mut inst = generate(&ScenarioParams::paper(n, alpha), TreeShape::Random, seed);
-                inst.platform.catalog = Catalog::homogeneous(0, 0);
-                let exact = solve_exact(
-                    &inst,
-                    &BranchBoundConfig {
-                        node_budget: 500_000,
-                        upper_bound: None,
-                    },
-                );
-                all_optimal &= exact.optimal;
-                let Some(_) = exact.mapping else { continue };
-                opt_costs.push(exact.cost as f64);
-                // In CONSTR-HOM the downgrade step is skipped (paper §5).
-                let opts = PipelineOptions {
-                    downgrade: false,
-                    ..Default::default()
-                };
-                for (h, heur) in all_heuristics().iter().enumerate() {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    if let Ok(sol) = solve(heur.as_ref(), &inst, &mut rng, &opts) {
-                        heur_costs[h].push(sol.cost as f64);
-                    }
-                }
-            }
-            let mean = |v: &[f64]| (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64);
-            let mut row = vec![
-                n.to_string(),
-                format!("{alpha}"),
-                fmt_cost(mean(&opt_costs)),
-            ];
-            for costs in &heur_costs {
-                row.push(fmt_cost(mean(costs)));
-            }
-            row.push(if all_optimal {
-                "yes".into()
-            } else {
-                "truncated".into()
-            });
-            t.push(row);
-        }
-    }
-    vec![t]
+        "point",
+        &campaign,
+    )
 }
 
 /// Engine validation (not in the paper): every mapping the heuristics call
@@ -539,4 +553,66 @@ pub fn bounds_check(seeds: u64) -> Vec<Table> {
         ]);
     }
     vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_grid_id_builds_a_campaign() {
+        for id in GRID_IDS {
+            let campaign = grid(id, 2).unwrap_or_else(|| panic!("{id} should build"));
+            assert_eq!(campaign.id, *id);
+            assert!(!campaign.points.is_empty());
+        }
+        assert!(grid("nope", 2).is_none());
+    }
+
+    #[test]
+    fn single_point_campaign_reports_all_heuristics() {
+        let campaign = Campaign::new(
+            "point",
+            vec![PointSpec::new("12", ScenarioParams::paper(12, 0.9))],
+            3,
+        );
+        let report = run_campaign(&campaign);
+        let stats = &report.points[0].heuristics;
+        assert_eq!(stats.len(), 6);
+        for s in stats {
+            assert_eq!(s.runs, 3);
+            assert!(s.feasible <= 3);
+            if s.feasible > 0 {
+                assert!(s.mean_cost.unwrap() >= 7_548.0);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_points_report_zero_feasible() {
+        let campaign = Campaign::new(
+            "wall",
+            vec![PointSpec::new("60", ScenarioParams::paper(60, 2.5))],
+            2,
+        );
+        let report = run_campaign(&campaign);
+        for s in &report.points[0].heuristics {
+            assert_eq!(s.feasible, 0, "{} should be infeasible", s.name);
+            assert!(s.mean_cost.is_none());
+            assert!((s.feasibility_pct() - 0.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn report_tables_mirror_the_grid() {
+        let campaign = grid("ci", 1).unwrap();
+        let report = run_campaign(&campaign);
+        let tables = report_tables(&report, "ci", "N");
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            assert_eq!(t.rows.len(), campaign.points.len());
+            // axis + 6 heuristics + exact + exact optimal?
+            assert_eq!(t.header.len(), 1 + 6 + 2);
+        }
+    }
 }

@@ -1,56 +1,105 @@
 //! Experiment harness: regenerates every table and figure of the paper's
-//! evaluation section (§5). See DESIGN.md for the experiment index and
-//! EXPERIMENTS.md for paper-vs-measured notes.
+//! evaluation section (§5) and runs machine-readable parallel campaigns.
 //!
 //! ```text
 //! snsp-experiments <id> [--seeds K] [--out DIR]
 //!   ids: table1 fig2a fig2b fig3 fig3n20 large lowfreq rates vsopt
-//!        engine bounds all
+//!        engine bounds mutable budget multiapp all
+//!
+//! snsp-experiments sweep --grid <fig2a|fig2b|fig3|fig3n20|large|lowfreq|ci>
+//!                        [--seeds K] [--workers W] [--reference]
+//!                        [--json PATH] [--stable-json] [--out DIR]
+//!   Runs the grid as one parallel campaign and writes BENCH_sweep.json
+//!   (schema v1). --stable-json omits the timing block so the bytes are
+//!   identical at every worker count; --reference adds a branch-and-bound
+//!   column on small points.
+//!
+//! snsp-experiments validate <PATH>
+//!   Schema-checks a BENCH_sweep.json; exits non-zero on violations.
 //! ```
 
 mod experiments;
-mod runner;
 mod table;
 
 use std::path::PathBuf;
 use std::time::Instant;
 
+use snsp_sweep::{run_campaign, validate_report, ReferenceConfig};
 use table::Table;
 
 struct Args {
     experiment: String,
     seeds: u64,
     out_dir: PathBuf,
+    workers: Option<usize>,
+    grid: Option<String>,
+    json: Option<PathBuf>,
+    stable_json: bool,
+    reference: bool,
+    validate_path: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let experiment = args.next().ok_or_else(usage)?;
-    let mut seeds = 10;
-    let mut out_dir = PathBuf::from("results");
+    let mut parsed = Args {
+        experiment,
+        seeds: 10,
+        out_dir: PathBuf::from("results"),
+        workers: None,
+        grid: None,
+        json: None,
+        stable_json: false,
+        reference: false,
+        validate_path: None,
+    };
+    if parsed.experiment == "validate" {
+        parsed.validate_path = Some(PathBuf::from(
+            args.next().ok_or("validate needs a JSON path")?,
+        ));
+        return Ok(parsed);
+    }
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--seeds" => {
-                seeds = args
+                parsed.seeds = args
                     .next()
                     .and_then(|v| v.parse().ok())
+                    .filter(|&s: &u64| s >= 1)
                     .ok_or("--seeds needs a positive integer")?;
             }
             "--out" => {
-                out_dir = PathBuf::from(args.next().ok_or("--out needs a directory")?);
+                parsed.out_dir = PathBuf::from(args.next().ok_or("--out needs a directory")?);
             }
+            "--workers" => {
+                parsed.workers = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&w| w >= 1)
+                        .ok_or("--workers needs a positive integer")?,
+                );
+            }
+            "--grid" => {
+                parsed.grid = Some(args.next().ok_or("--grid needs a grid id")?);
+            }
+            "--json" => {
+                parsed.json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
+            }
+            "--stable-json" => parsed.stable_json = true,
+            "--reference" => parsed.reference = true,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
-    Ok(Args {
-        experiment,
-        seeds,
-        out_dir,
-    })
+    Ok(parsed)
 }
 
 fn usage() -> String {
-    "usage: snsp-experiments <table1|fig2a|fig2b|fig3|fig3n20|large|lowfreq|rates|vsopt|engine|bounds|mutable|budget|multiapp|all> [--seeds K] [--out DIR]".to_string()
+    "usage: snsp-experiments <table1|fig2a|fig2b|fig3|fig3n20|large|lowfreq|rates|vsopt|engine|\
+     bounds|mutable|budget|multiapp|all> [--seeds K] [--out DIR]\n\
+     \u{20}      snsp-experiments sweep --grid <ID> [--seeds K] [--workers W] [--reference] \
+     [--json PATH] [--stable-json] [--out DIR]\n\
+     \u{20}      snsp-experiments validate <PATH>"
+        .to_string()
 }
 
 fn run_one(id: &str, seeds: u64) -> Result<Vec<Table>, String> {
@@ -73,6 +122,85 @@ fn run_one(id: &str, seeds: u64) -> Result<Vec<Table>, String> {
     })
 }
 
+fn write_tables(id: &str, tables: &[Table], out_dir: &std::path::Path) {
+    for (i, t) in tables.iter().enumerate() {
+        println!("{}", t.render());
+        let file = if tables.len() == 1 {
+            format!("{id}.csv")
+        } else {
+            format!("{id}_{i}.csv")
+        };
+        let path = out_dir.join(file);
+        if let Err(e) = t.write_csv(&path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("[csv] {}", path.display());
+        }
+    }
+}
+
+fn run_sweep(args: &Args) -> Result<(), String> {
+    let grid_id = args
+        .grid
+        .as_deref()
+        .ok_or_else(|| format!("sweep needs --grid <id>\n{}", usage()))?;
+    let mut campaign = experiments::grid(grid_id, args.seeds).ok_or_else(|| {
+        format!(
+            "unknown grid {grid_id}; available: {}",
+            experiments::GRID_IDS.join(" ")
+        )
+    })?;
+    if let Some(w) = args.workers {
+        campaign = campaign.with_workers(w);
+    }
+    if args.reference && campaign.reference.is_none() {
+        campaign = campaign.with_reference(ReferenceConfig::default());
+    }
+
+    let report = run_campaign(&campaign);
+    let tables = experiments::report_tables(&report, &format!("campaign {grid_id}"), "point");
+    write_tables(&format!("sweep_{grid_id}"), &tables, &args.out_dir);
+
+    let json_path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| args.out_dir.join("BENCH_sweep.json"));
+    let body = report.render_json(!args.stable_json);
+    validate_report(&body)
+        .map_err(|errors| format!("generated report failed validation: {errors:?}"))?;
+    if let Some(dir) = json_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&json_path, &body)
+        .map_err(|e| format!("could not write {}: {e}", json_path.display()))?;
+    println!("[json] {}", json_path.display());
+    if let Some(t) = &report.timing {
+        println!(
+            "[sweep {grid_id}] {} jobs on {} workers: flatten {:.3}s, run {:.3}s, \
+             aggregate {:.3}s, total {:.3}s",
+            t.jobs, t.workers, t.flatten_s, t.run_s, t.aggregate_s, t.total_s
+        );
+    }
+    Ok(())
+}
+
+fn run_validate(path: &PathBuf) -> Result<(), String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+    match validate_report(&body) {
+        Ok(()) => {
+            println!("{}: valid BENCH_sweep.json (schema v1)", path.display());
+            Ok(())
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("{}: {e}", path.display());
+            }
+            Err(format!("{} schema violation(s)", errors.len()))
+        }
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -81,6 +209,22 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some(path) = &args.validate_path {
+        if let Err(e) = run_validate(path) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.experiment == "sweep" {
+        if let Err(e) = run_sweep(&args) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+
     let ids: Vec<&str> = if args.experiment == "all" {
         vec![
             "table1", "fig2a", "fig2b", "fig3", "fig3n20", "large", "lowfreq", "rates", "vsopt",
@@ -94,20 +238,7 @@ fn main() {
         let started = Instant::now();
         match run_one(id, args.seeds) {
             Ok(tables) => {
-                for (i, t) in tables.iter().enumerate() {
-                    println!("{}", t.render());
-                    let file = if tables.len() == 1 {
-                        format!("{id}.csv")
-                    } else {
-                        format!("{id}_{i}.csv")
-                    };
-                    let path = args.out_dir.join(file);
-                    if let Err(e) = t.write_csv(&path) {
-                        eprintln!("warning: could not write {}: {e}", path.display());
-                    } else {
-                        println!("[csv] {}", path.display());
-                    }
-                }
+                write_tables(id, &tables, &args.out_dir);
                 println!("[{id}] done in {:.1}s\n", started.elapsed().as_secs_f64());
             }
             Err(e) => {

@@ -1,0 +1,54 @@
+//! # snsp-sweep — parallel campaign subsystem
+//!
+//! The paper's results are whole scenario grids: feasibility walls and
+//! cost curves swept over N, α and platform parameters. This crate turns
+//! such a grid into a **campaign**: the cross product
+//! `scenario point × heuristic × seed` flattened into independent jobs,
+//! drained by a work-stealing `std::thread::scope` pool, and folded by a
+//! typed sink into a versioned, machine-readable `BENCH_sweep.json`.
+//!
+//! Three guarantees:
+//!
+//! * **Scheduling-independent determinism** — every job derives its RNG
+//!   from its grid coordinates ([`solve_seeded`] under the hood), and
+//!   aggregation runs in grid order, so the stable report is
+//!   byte-identical at any worker count.
+//! * **Machine-readable output** — schema v1 (see [`sink`]) is written
+//!   and validated by a hand-rolled serializer/parser pair ([`json`],
+//!   [`schema`]); the offline vendor set has no serde.
+//! * **Exact reference** — a campaign can carry a branch-and-bound
+//!   reference column on small points ([`ReferenceConfig`]), reporting
+//!   `optimal = false` whenever the node budget truncated the search.
+//!
+//! ```
+//! use snsp_gen::ScenarioParams;
+//! use snsp_sweep::{run_campaign, Campaign, PointSpec};
+//!
+//! let campaign = Campaign::new(
+//!     "demo",
+//!     (10..=20)
+//!         .step_by(5)
+//!         .map(|n| PointSpec::new(n.to_string(), ScenarioParams::paper(n, 0.9)))
+//!         .collect(),
+//!     3,
+//! );
+//! let report = run_campaign(&campaign);
+//! assert_eq!(report.points.len(), 3);
+//! snsp_sweep::validate_report(&report.render_json(true)).unwrap();
+//! ```
+//!
+//! [`solve_seeded`]: snsp_core::heuristics::solve_seeded
+
+pub mod campaign;
+pub mod json;
+pub mod pool;
+pub mod schema;
+pub mod sink;
+
+pub use campaign::{run_campaign, Campaign, PointSpec, ReferenceConfig, PIPELINE_SEED_STRIDE};
+pub use json::Json;
+pub use pool::run_jobs;
+pub use schema::validate_report;
+pub use sink::{
+    CampaignReport, HeurStats, PhaseTiming, PointReport, ReferenceStats, SCHEMA_VERSION,
+};

@@ -1,0 +1,163 @@
+//! A work-stealing job pool over `std::thread::scope`.
+//!
+//! Jobs are the integers `0..n_jobs`. Each worker owns a contiguous range
+//! of unclaimed indices; it pops from the front of its own range and, when
+//! empty, steals the back half of the richest remaining range. Because
+//! every job writes only its own result slot and jobs are pure functions
+//! of their index, the collected output is identical for every worker
+//! count and every interleaving.
+
+use std::sync::Mutex;
+
+/// A contiguous range `[lo, hi)` of unclaimed job indices.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    lo: usize,
+    hi: usize,
+}
+
+impl Span {
+    fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+}
+
+/// Runs `job(i)` for every `i in 0..n_jobs` on `workers` threads and
+/// returns the results in index order.
+///
+/// `workers` is clamped to `[1, n_jobs]`; with one worker the jobs run on
+/// the calling thread in index order, giving a true serial baseline.
+pub fn run_jobs<T, F>(n_jobs: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n_jobs == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n_jobs);
+    if workers == 1 {
+        return (0..n_jobs).map(job).collect();
+    }
+
+    // Initial even split of `0..n_jobs` into one span per worker.
+    let queues: Vec<Mutex<Span>> = (0..workers)
+        .map(|w| {
+            let lo = w * n_jobs / workers;
+            let hi = (w + 1) * n_jobs / workers;
+            Mutex::new(Span { lo, hi })
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let job = &job;
+            scope.spawn(move || loop {
+                // Pop from the front of our own span.
+                let mine = {
+                    let mut span = queues[w].lock().unwrap();
+                    if span.lo < span.hi {
+                        let i = span.lo;
+                        span.lo += 1;
+                        Some(i)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(i) = mine {
+                    *slots[i].lock().unwrap() = Some(job(i));
+                    continue;
+                }
+                // Steal the back half of the richest victim. Only one lock
+                // is held at a time, so there is no ordering to deadlock on.
+                let victim = (0..workers)
+                    .filter(|&v| v != w)
+                    .map(|v| (v, queues[v].lock().unwrap().len()))
+                    .max_by_key(|&(_, len)| len)
+                    .filter(|&(_, len)| len > 0)
+                    .map(|(v, _)| v);
+                let Some(v) = victim else {
+                    break; // every span is empty — all jobs are claimed
+                };
+                let stolen = {
+                    let mut span = queues[v].lock().unwrap();
+                    let take = span.len().div_ceil(2);
+                    if take == 0 {
+                        None // raced: the victim drained it first
+                    } else {
+                        let lo = span.hi - take;
+                        let hi = span.hi;
+                        span.hi = lo;
+                        Some(Span { lo, hi })
+                    }
+                };
+                if let Some(s) = stolen {
+                    *queues[w].lock().unwrap() = s;
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every job index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        for workers in [1, 2, 3, 8, 64] {
+            let calls = AtomicUsize::new(0);
+            let out = run_jobs(37, workers, |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                i * i
+            });
+            assert_eq!(calls.load(Ordering::Relaxed), 37);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out: Vec<u32> = run_jobs(0, 4, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let out = run_jobs(3, 16, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn output_order_is_independent_of_worker_count() {
+        let serial = run_jobs(101, 1, |i| i as u64 * 7919);
+        for workers in [2, 5, 12] {
+            assert_eq!(run_jobs(101, workers, |i| i as u64 * 7919), serial);
+        }
+    }
+
+    #[test]
+    fn uneven_job_durations_still_complete() {
+        // Front-loaded long jobs force the later workers to steal.
+        let out = run_jobs(24, 4, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            i
+        });
+        assert_eq!(out, (0..24).collect::<Vec<_>>());
+    }
+}

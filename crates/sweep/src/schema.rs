@@ -1,0 +1,270 @@
+//! Structural validation of `BENCH_sweep.json` documents.
+//!
+//! CI uploads the report as a workflow artifact and fails the build when
+//! this check rejects it, so downstream tooling (perf dashboards, diff
+//! scripts) can rely on schema v1 without defensive parsing.
+
+use crate::json::{parse, Json};
+use crate::sink::SCHEMA_VERSION;
+
+/// Validates a serialized campaign report against schema v1.
+///
+/// Returns every violation found (empty ⇒ valid); a parse failure is a
+/// single violation.
+pub fn validate_report(text: &str) -> Result<(), Vec<String>> {
+    let doc = match parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Err(vec![format!("not JSON: {e}")]),
+    };
+    let mut errors = Vec::new();
+    let mut check = |cond: bool, msg: &str| {
+        if !cond {
+            errors.push(msg.to_string());
+        }
+    };
+
+    check(
+        doc.get("schema_version").and_then(Json::as_int) == Some(SCHEMA_VERSION),
+        "schema_version must be the integer 1",
+    );
+    check(
+        doc.get("generator")
+            .and_then(Json::as_str)
+            .is_some_and(|s| s.starts_with("snsp-sweep")),
+        "generator must be an snsp-sweep version string",
+    );
+    check(
+        doc.get("campaign")
+            .and_then(Json::as_str)
+            .is_some_and(|s| !s.is_empty()),
+        "campaign must be a non-empty string",
+    );
+
+    let heur_count = doc
+        .get("config")
+        .and_then(|c| c.get("heuristics"))
+        .and_then(Json::as_arr)
+        .map(<[Json]>::len);
+    let point_count = match doc.get("config") {
+        None => {
+            errors.push("config object missing".to_string());
+            None
+        }
+        Some(config) => {
+            if config.get("seeds").and_then(Json::as_int).unwrap_or(0) < 1 {
+                errors.push("config.seeds must be a positive integer".to_string());
+            }
+            match heur_count {
+                None => errors.push("config.heuristics must be an array".to_string()),
+                Some(0) => errors.push("config.heuristics must be non-empty".to_string()),
+                Some(_) => {}
+            }
+            match config.get("points").and_then(Json::as_arr) {
+                None => {
+                    errors.push("config.points must be an array".to_string());
+                    None
+                }
+                Some(points) => {
+                    for (i, p) in points.iter().enumerate() {
+                        for key in ["label", "shape"] {
+                            if p.get(key).and_then(Json::as_str).is_none() {
+                                errors.push(format!("config.points[{i}].{key} must be a string"));
+                            }
+                        }
+                        for key in ["n_ops", "n_types", "servers"] {
+                            if p.get(key).and_then(Json::as_int).unwrap_or(0) < 1 {
+                                errors.push(format!(
+                                    "config.points[{i}].{key} must be a positive integer"
+                                ));
+                            }
+                        }
+                        for key in ["alpha", "kappa", "freq_hz", "rho"] {
+                            if p.get(key).and_then(Json::as_num).is_none() {
+                                errors.push(format!("config.points[{i}].{key} must be a number"));
+                            }
+                        }
+                        for key in ["sizes_mb", "replicas"] {
+                            if p.get(key).and_then(Json::as_arr).map(<[Json]>::len) != Some(2) {
+                                errors
+                                    .push(format!("config.points[{i}].{key} must be a pair array"));
+                            }
+                        }
+                    }
+                    Some(points.len())
+                }
+            }
+        }
+    };
+
+    match doc.get("results").and_then(Json::as_arr) {
+        None => errors.push("results must be an array".to_string()),
+        Some(results) => {
+            if let Some(n) = point_count {
+                if results.len() != n {
+                    errors.push(format!(
+                        "results has {} entries but config.points has {n}",
+                        results.len()
+                    ));
+                }
+            }
+            for (i, point) in results.iter().enumerate() {
+                if point.get("label").and_then(Json::as_str).is_none() {
+                    errors.push(format!("results[{i}].label must be a string"));
+                }
+                match point.get("heuristics").and_then(Json::as_arr) {
+                    None => errors.push(format!("results[{i}].heuristics must be an array")),
+                    Some(rows) => {
+                        if let Some(h) = heur_count {
+                            if rows.len() != h {
+                                errors.push(format!(
+                                    "results[{i}] has {} heuristic rows, expected {h}",
+                                    rows.len()
+                                ));
+                            }
+                        }
+                        for (j, row) in rows.iter().enumerate() {
+                            validate_heur_row(row, i, j, &mut errors);
+                        }
+                    }
+                }
+                match point.get("reference") {
+                    None => errors.push(format!("results[{i}].reference key missing")),
+                    Some(Json::Null) => {}
+                    Some(reference) => validate_reference(reference, i, &mut errors),
+                }
+            }
+        }
+    }
+
+    if let Some(timing) = doc.get("timing") {
+        if timing.get("workers").and_then(Json::as_int).unwrap_or(0) < 1 {
+            errors.push("timing.workers must be a positive integer".to_string());
+        }
+        for key in ["flatten_s", "run_s", "aggregate_s", "total_s"] {
+            if !timing
+                .get(key)
+                .and_then(Json::as_num)
+                .is_some_and(|v| v >= 0.0)
+            {
+                errors.push(format!("timing.{key} must be a non-negative number"));
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn validate_heur_row(row: &Json, i: usize, j: usize, errors: &mut Vec<String>) {
+    let at = format!("results[{i}].heuristics[{j}]");
+    if row.get("name").and_then(Json::as_str).is_none() {
+        errors.push(format!("{at}.name must be a string"));
+    }
+    let runs = row.get("runs").and_then(Json::as_int);
+    let feasible = row.get("feasible").and_then(Json::as_int);
+    match (runs, feasible) {
+        (Some(r), Some(f)) if (0..=r).contains(&f) => {
+            let has_cost = !matches!(row.get("mean_cost"), Some(Json::Null) | None);
+            if has_cost != (f > 0) {
+                errors.push(format!("{at}.mean_cost must be present iff feasible > 0"));
+            }
+        }
+        _ => errors.push(format!("{at} needs integer runs >= feasible >= 0")),
+    }
+    if !row
+        .get("feasibility_pct")
+        .and_then(Json::as_num)
+        .is_some_and(|v| (0.0..=100.0).contains(&v))
+    {
+        errors.push(format!("{at}.feasibility_pct must be in [0, 100]"));
+    }
+    for key in ["mean_cost", "mean_procs"] {
+        match row.get(key) {
+            Some(Json::Null) | Some(Json::Num(_)) | Some(Json::Int(_)) => {}
+            _ => errors.push(format!("{at}.{key} must be a number or null")),
+        }
+    }
+}
+
+fn validate_reference(reference: &Json, i: usize, errors: &mut Vec<String>) {
+    let at = format!("results[{i}].reference");
+    let runs = reference.get("runs").and_then(Json::as_int);
+    let solved = reference.get("solved").and_then(Json::as_int);
+    if !matches!((runs, solved), (Some(r), Some(s)) if (0..=r).contains(&s)) {
+        errors.push(format!("{at} needs integer runs >= solved >= 0"));
+    }
+    if reference.get("optimal").and_then(Json::as_bool).is_none() {
+        errors.push(format!("{at}.optimal must be a boolean"));
+    }
+    match reference.get("mean_cost") {
+        Some(Json::Null) | Some(Json::Num(_)) | Some(Json::Int(_)) => {}
+        _ => errors.push(format!("{at}.mean_cost must be a number or null")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, Campaign, PointSpec, ReferenceConfig};
+    use snsp_gen::ScenarioParams;
+
+    fn rendered(include_timing: bool) -> String {
+        let campaign = Campaign::new(
+            "schema-test",
+            vec![
+                PointSpec::new("8", ScenarioParams::paper(8, 0.9)),
+                PointSpec::new("12", ScenarioParams::paper(12, 1.3)),
+            ],
+            2,
+        )
+        .with_reference(ReferenceConfig {
+            max_ops: 10,
+            node_budget: 100_000,
+        })
+        .with_workers(2);
+        run_campaign(&campaign).render_json(include_timing)
+    }
+
+    #[test]
+    fn real_reports_validate() {
+        validate_report(&rendered(true)).expect("timed report validates");
+        validate_report(&rendered(false)).expect("stable report validates");
+    }
+
+    #[test]
+    fn non_json_is_one_violation() {
+        let errors = validate_report("{oops").unwrap_err();
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].starts_with("not JSON"));
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let text = rendered(false).replace("\"schema_version\": 1", "\"schema_version\": 2");
+        let errors = validate_report(&text).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("schema_version")));
+    }
+
+    #[test]
+    fn missing_results_is_rejected() {
+        let text = "{\"schema_version\": 1, \"generator\": \"snsp-sweep 0\", \
+                    \"campaign\": \"x\"}";
+        let errors = validate_report(text).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("config")));
+        assert!(errors.iter().any(|e| e.contains("results")));
+    }
+
+    #[test]
+    fn feasible_without_cost_is_rejected() {
+        let text = rendered(false);
+        // Break one heuristic row: claim feasibility but null the cost.
+        let broken = text.replacen("\"mean_cost\": 1", "\"mean_cost\": null, \"x\": 1", 1);
+        if broken != text {
+            let errors = validate_report(&broken).unwrap_err();
+            assert!(errors.iter().any(|e| e.contains("mean_cost")), "{errors:?}");
+        }
+    }
+}

@@ -45,6 +45,7 @@ pub use snsp_core as core;
 pub use snsp_engine as engine;
 pub use snsp_gen as gen;
 pub use snsp_solver as solver;
+pub use snsp_sweep as sweep;
 
 /// Everything a typical user needs in scope.
 pub mod prelude {
@@ -52,7 +53,7 @@ pub mod prelude {
     pub use rand::SeedableRng;
     pub use snsp_core::constraints::{check, is_feasible, max_throughput};
     pub use snsp_core::heuristics::{
-        all_heuristics, solve, CommGreedy, CompGreedy, Heuristic, ObjectAvailability,
+        all_heuristics, solve, solve_seeded, CommGreedy, CompGreedy, Heuristic, ObjectAvailability,
         ObjectGrouping, PipelineOptions, Random, Solution, SubtreeBottomUp,
     };
     pub use snsp_core::ids::{OpId, ProcId, ServerId, TypeId};
@@ -68,5 +69,8 @@ pub mod prelude {
     pub use snsp_gen::{paper_instance, ScenarioParams, TreeShape};
     pub use snsp_solver::{
         lower_bound, max_throughput_under_budget, solve_exact, BranchBoundConfig,
+    };
+    pub use snsp_sweep::{
+        run_campaign, validate_report, Campaign, CampaignReport, PointSpec, ReferenceConfig,
     };
 }

@@ -238,3 +238,24 @@ fn shared_platform_core_path() {
         }
     }
 }
+
+/// `examples/campaign.rs`: parallel grid sweep with an exact reference
+/// column and schema-validated JSON output.
+#[test]
+fn campaign_core_path() {
+    let points: Vec<PointSpec> = [8usize, 12]
+        .into_iter()
+        .map(|n| PointSpec::new(n.to_string(), ScenarioParams::paper(n, 0.9)))
+        .collect();
+    let campaign = Campaign::new("example", points, 2).with_reference(ReferenceConfig {
+        max_ops: 12,
+        node_budget: 200_000,
+    });
+    let report = run_campaign(&campaign);
+    assert_eq!(report.points.len(), 2);
+    for point in &report.points {
+        assert!(point.heuristics.iter().any(|h| h.feasible > 0));
+        assert!(point.reference.is_some());
+    }
+    validate_report(&report.render_json(true)).expect("schema v1 validates");
+}
