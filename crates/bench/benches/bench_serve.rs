@@ -1,0 +1,42 @@
+//! Online-serving throughput: how fast the admission/placement loop
+//! replays a trace. Two axes — a plain Poisson trace (hot path:
+//! incremental packing plus departure re-consolidation) and a churn
+//! trace with failures (adds re-mapping and eviction). Engine spot
+//! validation is disabled so the bench isolates the serving layer, not
+//! the fluid simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snsp_gen::{generate_trace, TraceParams};
+use snsp_serve::{run_trace, ServeConfig};
+
+fn replay_config() -> ServeConfig {
+    ServeConfig {
+        final_validation: false,
+        ..Default::default()
+    }
+}
+
+fn serve_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_trace");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    let scenarios = [
+        ("poisson", TraceParams::poisson(0.5, 6.0, 60.0)),
+        (
+            "churn",
+            TraceParams::poisson(0.5, 6.0, 60.0).with_failures(0.1),
+        ),
+    ];
+    for (name, params) in scenarios {
+        let trace = generate_trace(&params, 7);
+        group.bench_with_input(BenchmarkId::new("replay", name), &trace, |b, trace| {
+            b.iter(|| run_trace(trace, &replay_config()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serve_replay);
+criterion_main!(benches);

@@ -69,6 +69,16 @@ define_id! {
     ProcId
 }
 
+define_id! {
+    /// Identity of one application (tenant) in a multi-application or
+    /// online-serving context (see [`crate::multi`] and `snsp-serve`).
+    ///
+    /// Unlike the arena ids above, tenant ids are assigned by arrival
+    /// order and are never recycled: a departed tenant's id stays retired,
+    /// which keeps event logs and traces unambiguous.
+    TenantId
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -87,40 +87,70 @@ impl MultiSolution {
     }
 }
 
-/// Aggregate demand of a set of (app, group) pairs sharing one processor.
-struct JointDemand {
-    work: f64,     // Σ ρ_k · w_i, pre-scaled per app
-    download: f64, // dedup across apps
-    comm: f64,     // cut edges, per app
-    max_edge: f64,
+/// Aggregate steady-state demand of operator sets from several
+/// applications sharing one processor.
+///
+/// This is the resource calculus behind both the offline consolidation in
+/// [`solve_joint`] and the *incremental* packing used by the online
+/// serving layer (`snsp-serve`): work is pre-scaled by each application's
+/// ρ, downloads are de-duplicated across applications (the shared-stream
+/// saving), and communication counts every cut tree edge once per
+/// direction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SharedDemand {
+    /// `Σ_k ρ_k · w_i` over all member operators, in Gop/s.
+    pub work: f64,
+    /// Download bandwidth (MB/s) after cross-application de-duplication.
+    pub download: f64,
+    /// Cut-edge bandwidth (MB/s), both directions.
+    pub comm: f64,
+    /// Largest single cut edge (MB/s) — must fit one pair link.
+    pub max_edge: f64,
 }
 
-fn joint_demand(
-    multi: &MultiInstance,
-    members: &[(usize, &PlacedGroup)],
+impl SharedDemand {
+    /// NIC bandwidth (MB/s) the member set needs.
+    #[inline]
+    pub fn nic_need(&self) -> f64 {
+        self.download + self.comm
+    }
+
+    /// Whether the demand fits a processor of `kind` behind pair links of
+    /// `proc_link` MB/s (the joint analogue of the single-app fit check).
+    pub fn fits(&self, kind: &crate::platform::ProcessorKind, proc_link: f64) -> bool {
+        self.work <= kind.speed + 1e-9
+            && self.nic_need() <= kind.bandwidth + 1e-9
+            && self.max_edge <= proc_link + 1e-9
+    }
+}
+
+/// Computes the [`SharedDemand`] of `members` — `(application, operators)`
+/// pairs destined for one processor. `co_located(m, op)` must answer, for
+/// member `m`'s application, whether operator `op` of that application
+/// will sit on the *same* processor (its edge then costs nothing).
+///
+/// All member applications must share one object catalog and platform
+/// (the [`MultiInstance`] invariant): download de-duplication keys on
+/// [`TypeId`] alone.
+pub fn shared_demand(
+    members: &[(&Instance, &[OpId])],
     co_located: impl Fn(usize, OpId) -> bool,
-) -> JointDemand {
-    let mut d = JointDemand {
-        work: 0.0,
-        download: 0.0,
-        comm: 0.0,
-        max_edge: 0.0,
-    };
+) -> SharedDemand {
+    let mut d = SharedDemand::default();
     let mut types: Vec<TypeId> = Vec::new();
-    for &(k, group) in members {
-        let app = &multi.apps[k];
-        for &op in &group.ops {
+    for (m, &(app, ops)) in members.iter().enumerate() {
+        for &op in ops {
             d.work += app.rho * app.tree.work(op);
             types.extend(app.tree.leaf_types(op));
             for &c in app.tree.children(op) {
-                if !co_located(k, c) {
+                if !co_located(m, c) {
                     let rate = app.edge_rate(c);
                     d.comm += rate;
                     d.max_edge = d.max_edge.max(rate);
                 }
             }
             if let Some(p) = app.tree.parent(op) {
-                if !co_located(k, p) {
+                if !co_located(m, p) {
                     let rate = app.edge_rate(op);
                     d.comm += rate;
                     d.max_edge = d.max_edge.max(rate);
@@ -130,8 +160,134 @@ fn joint_demand(
     }
     types.sort_unstable();
     types.dedup();
-    d.download = types.iter().map(|&ty| multi.apps[0].object_rate(ty)).sum();
+    if let Some(&(app, _)) = members.first() {
+        d.download = types.iter().map(|&ty| app.object_rate(ty)).sum();
+    }
     d
+}
+
+fn joint_demand(
+    multi: &MultiInstance,
+    members: &[(usize, &PlacedGroup)],
+    co_located: impl Fn(usize, OpId) -> bool,
+) -> SharedDemand {
+    let views: Vec<(&Instance, &[OpId])> = members
+        .iter()
+        .map(|&(k, group)| (&multi.apps[k], group.ops.as_slice()))
+        .collect();
+    shared_demand(&views, |m, op| co_located(members[m].0, op))
+}
+
+/// Incremental shared-download bookkeeping over one platform.
+///
+/// Tracks, stream by stream, how much of every server NIC and every
+/// `(server, processor)` link is reserved by continuous object downloads.
+/// [`solve_joint`] drives it in one batch; the online serving layer adds
+/// and releases streams as tenants come and go, so residual capacities
+/// survive across admissions.
+#[derive(Debug, Clone)]
+pub struct DownloadLedger {
+    server_left: Vec<f64>,
+    link_used: std::collections::BTreeMap<(usize, usize), f64>,
+    downloads: Vec<Download>,
+}
+
+impl DownloadLedger {
+    /// Fresh ledger with every server NIC fully available.
+    pub fn new(platform: &crate::platform::Platform) -> Self {
+        DownloadLedger {
+            server_left: platform.servers.iter().map(|s| s.nic_bandwidth).collect(),
+            link_used: std::collections::BTreeMap::new(),
+            downloads: Vec::new(),
+        }
+    }
+
+    /// Whether `proc` already holds a stream for `ty`.
+    pub fn has(&self, proc: ProcId, ty: TypeId) -> bool {
+        self.downloads.iter().any(|d| d.proc == proc && d.ty == ty)
+    }
+
+    /// All reserved streams, sorted by `(proc, ty)`.
+    pub fn downloads(&self) -> Vec<Download> {
+        let mut out = self.downloads.clone();
+        out.sort_unstable();
+        out
+    }
+
+    /// Streams reserved by one processor.
+    pub fn downloads_of(&self, proc: ProcId) -> Vec<Download> {
+        let mut out: Vec<Download> = self
+            .downloads
+            .iter()
+            .copied()
+            .filter(|d| d.proc == proc)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Reserves a stream of `ty` (at `rate` MB/s) toward `proc`, choosing
+    /// the replica holder with the most residual NIC whose server NIC and
+    /// `(server, proc)` link both still fit the rate. Idempotent: an
+    /// existing stream is returned as-is.
+    pub fn ensure(
+        &mut self,
+        platform: &crate::platform::Platform,
+        rate: f64,
+        proc: ProcId,
+        ty: TypeId,
+    ) -> Result<crate::ids::ServerId, HeuristicError> {
+        if let Some(d) = self.downloads.iter().find(|d| d.proc == proc && d.ty == ty) {
+            return Ok(d.server);
+        }
+        let best = platform
+            .placement
+            .holders(ty)
+            .iter()
+            .copied()
+            .filter(|&s| {
+                let link = self
+                    .link_used
+                    .get(&(s.index(), proc.index()))
+                    .copied()
+                    .unwrap_or(0.0);
+                self.server_left[s.index()] + 1e-9 >= rate
+                    && platform.server(s).link_bandwidth - link + 1e-9 >= rate
+            })
+            .max_by(|&x, &y| {
+                self.server_left[x.index()]
+                    .partial_cmp(&self.server_left[y.index()])
+                    .unwrap()
+            });
+        let Some(server) = best else {
+            return Err(HeuristicError::ServerSelectionFailed { proc, ty });
+        };
+        self.server_left[server.index()] -= rate;
+        *self
+            .link_used
+            .entry((server.index(), proc.index()))
+            .or_insert(0.0) += rate;
+        self.downloads.push(Download { proc, ty, server });
+        Ok(server)
+    }
+
+    /// Releases the stream of `ty` on `proc` (reserved at `rate`),
+    /// returning whether a stream existed.
+    pub fn release(&mut self, rate: f64, proc: ProcId, ty: TypeId) -> bool {
+        let Some(i) = self
+            .downloads
+            .iter()
+            .position(|d| d.proc == proc && d.ty == ty)
+        else {
+            return false;
+        };
+        let d = self.downloads.swap_remove(i);
+        self.server_left[d.server.index()] += rate;
+        if let Some(link) = self.link_used.get_mut(&(d.server.index(), proc.index())) {
+            *link = (*link - rate).max(0.0);
+        }
+        true
+    }
 }
 
 /// Places every application with `heuristic`, merges groups across
@@ -235,70 +391,29 @@ pub fn solve_joint(
         }
     }
 
-    // 4. Joint server selection: one synthetic placement whose groups are
-    //    the shared processors, over the union of needed types. Reuse the
-    //    three-pass selector through a per-processor pseudo-instance is
-    //    overkill; select directly with the same capacity tracking by
-    //    building a synthetic PlacedOps on app 0's platform is not
-    //    possible (types span apps), so we inline a simple variant of the
-    //    three-pass logic via the single-app selector on a merged view.
-    let mut downloads: Vec<Download> = Vec::new();
-    {
-        // Merged view: for each shared processor, the union of types.
-        let mut server_left: Vec<f64> = multi.apps[0]
-            .platform
-            .servers
+    // 4. Joint server selection: for each shared processor, the union of
+    //    needed types, sourced through the incremental ledger (the same
+    //    capacity tracking the online serving layer uses stream by
+    //    stream, driven here in one batch).
+    let mut ledger = DownloadLedger::new(&multi.apps[0].platform);
+    for (u, pool) in live.iter().enumerate() {
+        let mut types: Vec<TypeId> = pool
             .iter()
-            .map(|s| s.nic_bandwidth)
-            .collect();
-        let mut link_used: std::collections::BTreeMap<(usize, usize), f64> =
-            std::collections::BTreeMap::new();
-        for (u, pool) in live.iter().enumerate() {
-            let mut types: Vec<TypeId> = pool
-                .iter()
-                .flat_map(|&(k, g)| {
-                    placed[k].groups[g]
-                        .ops
-                        .iter()
-                        .flat_map(move |&op| multi.apps[k].tree.leaf_types(op).iter().copied())
-                })
-                .collect();
-            types.sort_unstable();
-            types.dedup();
-            for ty in types {
-                let rate = multi.apps[0].object_rate(ty);
-                let platform = &multi.apps[0].platform;
-                let best = platform
-                    .placement
-                    .holders(ty)
+            .flat_map(|&(k, g)| {
+                placed[k].groups[g]
+                    .ops
                     .iter()
-                    .copied()
-                    .filter(|&s| {
-                        let link = link_used.get(&(s.index(), u)).copied().unwrap_or(0.0);
-                        server_left[s.index()] + 1e-9 >= rate
-                            && platform.server(s).link_bandwidth - link + 1e-9 >= rate
-                    })
-                    .max_by(|&x, &y| {
-                        server_left[x.index()]
-                            .partial_cmp(&server_left[y.index()])
-                            .unwrap()
-                    });
-                let Some(server) = best else {
-                    return Err(HeuristicError::ServerSelectionFailed {
-                        proc: ProcId::from(u),
-                        ty,
-                    });
-                };
-                server_left[server.index()] -= rate;
-                *link_used.entry((server.index(), u)).or_insert(0.0) += rate;
-                downloads.push(Download {
-                    proc: ProcId::from(u),
-                    ty,
-                    server,
-                });
-            }
+                    .flat_map(move |&op| multi.apps[k].tree.leaf_types(op).iter().copied())
+            })
+            .collect();
+        types.sort_unstable();
+        types.dedup();
+        for ty in types {
+            let rate = multi.apps[0].object_rate(ty);
+            ledger.ensure(&multi.apps[0].platform, rate, ProcId::from(u), ty)?;
         }
     }
+    let downloads = ledger.downloads();
 
     // 5. Downgrade each shared processor to the cheapest fitting kind.
     for (u, pool) in live.iter().enumerate() {
@@ -503,6 +618,52 @@ mod tests {
                 d.proc
             );
         }
+    }
+
+    #[test]
+    fn shared_demand_dedups_downloads_across_apps() {
+        let multi = multi(2, 8, 0.9);
+        let (a, b) = (&multi.apps[0], &multi.apps[1]);
+        let ops_a: Vec<OpId> = a.tree.ops().collect();
+        let ops_b: Vec<OpId> = b.tree.ops().collect();
+        // Whole trees co-hosted: no cut edges, downloads dedup on TypeId.
+        let d = shared_demand(&[(a, &ops_a), (b, &ops_b)], |_, _| true);
+        assert_eq!(d.comm, 0.0);
+        assert_eq!(d.max_edge, 0.0);
+        let solo_a = shared_demand(&[(a, &ops_a)], |_, _| true);
+        let solo_b = shared_demand(&[(b, &ops_b)], |_, _| true);
+        assert!(d.download <= solo_a.download + solo_b.download + 1e-9);
+        assert!((d.work - (solo_a.work + solo_b.work)).abs() < 1e-9);
+        // Splitting one app across processors exposes its cut edges.
+        let cut = shared_demand(&[(a, &ops_a)], |_, op| op.index() % 2 == 0);
+        assert!(cut.comm > 0.0);
+        assert!(cut.max_edge > 0.0);
+    }
+
+    #[test]
+    fn download_ledger_reserves_and_releases() {
+        let multi = multi(1, 6, 0.9);
+        let app = &multi.apps[0];
+        let platform = &app.platform;
+        let ty = app.tree.used_types()[0];
+        let rate = app.object_rate(ty);
+        let mut ledger = DownloadLedger::new(platform);
+
+        let server = ledger.ensure(platform, rate, ProcId(0), ty).unwrap();
+        assert!(ledger.has(ProcId(0), ty));
+        // Idempotent: the same stream is returned, not doubled.
+        assert_eq!(
+            ledger.ensure(platform, rate, ProcId(0), ty).unwrap(),
+            server
+        );
+        assert_eq!(ledger.downloads_of(ProcId(0)).len(), 1);
+        // A second processor gets its own stream.
+        ledger.ensure(platform, rate, ProcId(1), ty).unwrap();
+        assert_eq!(ledger.downloads().len(), 2);
+
+        assert!(ledger.release(rate, ProcId(0), ty));
+        assert!(!ledger.has(ProcId(0), ty));
+        assert!(!ledger.release(rate, ProcId(0), ty), "double release");
     }
 
     #[test]

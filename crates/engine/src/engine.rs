@@ -115,6 +115,55 @@ impl SimReport {
     }
 }
 
+/// Why an SLO spot-check rejected a mapping (see [`meets_slo`]).
+#[derive(Debug, Clone)]
+pub enum SloError {
+    /// The engine itself failed (bad mapping, stall, timeout…).
+    Sim(SimError),
+    /// The run finished but below the required throughput.
+    Missed {
+        /// Measured steady-state throughput.
+        achieved: f64,
+        /// `frac · ρ`, the admission bar.
+        required: f64,
+    },
+}
+
+impl std::fmt::Display for SloError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SloError::Sim(e) => write!(f, "engine failure: {e}"),
+            SloError::Missed { achieved, required } => {
+                write!(f, "SLO missed: achieved {achieved} < required {required}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SloError {}
+
+/// SLO spot-check hook for online serving: runs the engine on a mapping
+/// (typically one tenant's projection of a shared-platform snapshot, see
+/// `MultiSolution::mapping_for`) and demands an achieved throughput of at
+/// least `frac · inst.rho`. Returns the measurement on success so callers
+/// can log the margin.
+pub fn meets_slo(
+    inst: &Instance,
+    mapping: &Mapping,
+    frac: f64,
+    config: &SimConfig,
+) -> Result<SimReport, SloError> {
+    let report = simulate(inst, mapping, config).map_err(SloError::Sim)?;
+    let required = frac * inst.rho;
+    if report.achieved_throughput + 1e-12 < required {
+        return Err(SloError::Missed {
+            achieved: report.achieved_throughput,
+            required,
+        });
+    }
+    Ok(report)
+}
+
 /// One remote tree edge with its transfer pipeline state.
 struct RemoteEdge {
     child: OpId,
@@ -445,6 +494,54 @@ mod tests {
             .completion_times
             .windows(2)
             .all(|w| w[1] >= w[0] - 1e-12));
+    }
+
+    #[test]
+    fn starved_run_reports_truncation_not_throughput() {
+        // A wall far below the first completion time: the engine must
+        // return the `max_time` truncation error with an honest completed
+        // count, never a misleading (zero or partial) throughput figure.
+        let (inst, mapping) = solved(20, 0.9, 1);
+        let starved = SimConfig {
+            max_time: 1e-9,
+            ..SimConfig::default()
+        };
+        match simulate(&inst, &mapping, &starved) {
+            Err(SimError::TimedOut { completed }) => {
+                assert!(completed < SimConfig::default().results);
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        // A wall mid-run truncates too (some results done, not all).
+        let full = simulate(&inst, &mapping, &SimConfig::default()).unwrap();
+        let mid = SimConfig {
+            max_time: full.sim_time * 0.5,
+            ..SimConfig::default()
+        };
+        match simulate(&inst, &mapping, &mid) {
+            Err(SimError::TimedOut { completed }) => {
+                assert!(completed < SimConfig::default().results);
+            }
+            other => panic!("expected mid-run TimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn meets_slo_accepts_feasible_and_rejects_starved() {
+        let (inst, mapping) = solved(15, 0.9, 2);
+        let report = meets_slo(&inst, &mapping, 0.95, &SimConfig::default())
+            .expect("feasible mapping sustains 0.95·ρ");
+        assert!(report.achieved_throughput >= 0.95 * inst.rho);
+        // An impossible bar misses.
+        let err = meets_slo(&inst, &mapping, 1e6, &SimConfig::default());
+        assert!(matches!(err, Err(SloError::Missed { .. })));
+        // Engine failures pass through.
+        let mut broken = mapping.clone();
+        broken.downloads.clear();
+        assert!(matches!(
+            meets_slo(&inst, &broken, 0.95, &SimConfig::default()),
+            Err(SloError::Sim(SimError::BadMapping(_)))
+        ));
     }
 
     #[test]

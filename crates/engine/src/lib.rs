@@ -31,5 +31,5 @@
 pub mod engine;
 pub mod flows;
 
-pub use engine::{simulate, SimConfig, SimError, SimReport};
+pub use engine::{meets_slo, simulate, SimConfig, SimError, SimReport, SloError};
 pub use flows::max_min_fair;

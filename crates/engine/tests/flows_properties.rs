@@ -1,0 +1,118 @@
+//! Property tests for the `max_min_fair` invariants.
+//!
+//! The progressive-filling allocation must be (1) capacity-respecting —
+//! no resource is oversubscribed; (2) Pareto-optimal — every flow with a
+//! non-empty path is bottlenecked on at least one saturated resource, so
+//! no rate can grow without shrinking another; and (3) a pure function of
+//! the flow *set* — permuting the input order permutes the output rates
+//! and changes nothing else. The engine recomputes the allocation at
+//! every event, so these are steady-state correctness properties of the
+//! whole simulator.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use snsp_engine::max_min_fair;
+
+/// Normalizes raw path draws into valid resource index sets.
+fn normalize(paths: Vec<Vec<usize>>, n_res: usize) -> Vec<Vec<usize>> {
+    paths
+        .into_iter()
+        .map(|p| {
+            let mut q: Vec<usize> = p.into_iter().map(|r| r % n_res).collect();
+            q.sort_unstable();
+            q.dedup();
+            q
+        })
+        .collect()
+}
+
+/// Total rate crossing one resource.
+fn used(flows: &[Vec<usize>], rates: &[f64], res: usize) -> f64 {
+    flows
+        .iter()
+        .zip(rates)
+        .filter(|(f, _)| f.contains(&res))
+        .map(|(_, &r)| r)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// No resource is ever oversubscribed, and no rate is negative.
+    #[test]
+    fn no_resource_oversubscribed(
+        caps in proptest::collection::vec(0.5f64..500.0, 1..7),
+        paths in proptest::collection::vec(
+            proptest::collection::vec(0usize..7, 1..4),
+            1..10,
+        ),
+    ) {
+        let flows = normalize(paths, caps.len());
+        let rates = max_min_fair(&caps, &flows);
+        prop_assert_eq!(rates.len(), flows.len());
+        for &r in &rates {
+            prop_assert!(r >= 0.0 && r.is_finite());
+        }
+        for (res, &cap) in caps.iter().enumerate() {
+            let u = used(&flows, &rates, res);
+            prop_assert!(u <= cap * (1.0 + 1e-9) + 1e-9, "resource {res}: {u} > {cap}");
+        }
+    }
+
+    /// Pareto optimality: every flow crosses at least one saturated
+    /// resource — its bottleneck — so no allocation can be raised
+    /// unilaterally.
+    #[test]
+    fn every_flow_is_bottlenecked(
+        caps in proptest::collection::vec(0.5f64..500.0, 1..7),
+        paths in proptest::collection::vec(
+            proptest::collection::vec(0usize..7, 1..4),
+            1..10,
+        ),
+    ) {
+        let flows = normalize(paths, caps.len());
+        let rates = max_min_fair(&caps, &flows);
+        for (f, flow) in flows.iter().enumerate() {
+            let saturated = flow.iter().any(|&res| {
+                used(&flows, &rates, res) >= caps[res] - 1e-6 * caps[res].max(1.0)
+            });
+            prop_assert!(
+                saturated,
+                "flow {f} (rate {}) could still grow: path {flow:?}, caps {caps:?}",
+                rates[f]
+            );
+        }
+    }
+
+    /// Determinism under permutation: the allocation is a function of the
+    /// flow set, not of its presentation order.
+    #[test]
+    fn permutation_of_flows_permutes_rates(
+        caps in proptest::collection::vec(0.5f64..500.0, 1..7),
+        paths in proptest::collection::vec(
+            proptest::collection::vec(0usize..7, 0..4),
+            1..10,
+        ),
+        perm_seed in 0u64..1000,
+    ) {
+        let flows = normalize(paths, caps.len());
+        let base = max_min_fair(&caps, &flows);
+
+        let mut order: Vec<usize> = (0..flows.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(perm_seed));
+        let shuffled: Vec<Vec<usize>> = order.iter().map(|&i| flows[i].clone()).collect();
+        let rates = max_min_fair(&caps, &shuffled);
+        for (pos, &i) in order.iter().enumerate() {
+            prop_assert!(
+                (rates[pos] - base[i]).abs() <= 1e-9 * base[i].max(1.0)
+                    || (rates[pos].is_infinite() && base[i].is_infinite()),
+                "flow {i} got {} unshuffled but {} shuffled",
+                base[i],
+                rates[pos]
+            );
+        }
+    }
+}

@@ -106,6 +106,92 @@ pub const GRID_IDS: &[&str] = &[
     "fig2a", "fig2b", "fig3", "fig3n20", "large", "lowfreq", "ci",
 ];
 
+/// The named trace grids behind the `serve` CLI subcommand and the CI
+/// `serve-smoke` job. `serve-ci` is a deliberately small fixed grid cheap
+/// enough to replay on every push.
+pub fn serve_grid(id: &str, seeds: u64) -> Option<snsp_serve::ServeCampaign> {
+    use snsp_gen::{Burst, TraceParams};
+    use snsp_serve::{ServeCampaign, ServePoint};
+    let points = match id {
+        "serve-ci" => vec![
+            ServePoint::new("calm", TraceParams::poisson(0.3, 5.0, 20.0)),
+            ServePoint::new(
+                "flaky",
+                TraceParams::poisson(0.4, 5.0, 20.0).with_failures(0.1),
+            ),
+        ],
+        "poisson" => (1..=4)
+            .map(|i| {
+                let lambda = i as f64 * 0.2;
+                ServePoint::new(
+                    format!("lambda={lambda:.1}"),
+                    TraceParams::poisson(lambda, 8.0, 60.0),
+                )
+            })
+            .collect(),
+        "burst" => [2.0f64, 4.0, 8.0]
+            .into_iter()
+            .map(|m| {
+                ServePoint::new(
+                    format!("x{m:.0}"),
+                    TraceParams::poisson(0.3, 6.0, 60.0).with_burst(Burst {
+                        period: 15.0,
+                        width: 3.0,
+                        multiplier: m,
+                    }),
+                )
+            })
+            .collect(),
+        "churn" => [0.0f64, 0.05, 0.1, 0.2]
+            .into_iter()
+            .map(|f| {
+                ServePoint::new(
+                    format!("fail={f:.2}"),
+                    TraceParams::poisson(0.4, 8.0, 60.0).with_failures(f),
+                )
+            })
+            .collect(),
+        _ => return None,
+    };
+    Some(ServeCampaign::new(id, points, seeds))
+}
+
+/// Every grid id accepted by [`serve_grid`].
+pub const SERVE_GRID_IDS: &[&str] = &["serve-ci", "poisson", "burst", "churn"];
+
+/// Renders the service-metric table from a serve campaign report.
+pub fn serve_tables(report: &snsp_serve::ServeCampaignReport, title: &str) -> Vec<Table> {
+    let mut t = Table::new(
+        format!(
+            "{title} — online serving metrics over {} seeds",
+            report.seeds
+        ),
+        &[
+            "trace",
+            "arrivals",
+            "admit %",
+            "evicted",
+            "failures",
+            "mean ∫cost dt",
+            "mean util",
+            "SLO viol.",
+        ],
+    );
+    for p in &report.points {
+        t.push(vec![
+            p.label.clone(),
+            p.arrivals.to_string(),
+            format!("{:.0}%", 100.0 * p.admission_rate()),
+            p.evicted.to_string(),
+            p.failures.to_string(),
+            format!("{:.0}", p.mean_cost_integral),
+            format!("{:.3}", p.mean_utilization),
+            format!("{}/{}", p.slo_violations, p.slo_checks),
+        ]);
+    }
+    vec![t]
+}
+
 fn fig2_points(alpha: f64) -> Vec<PointSpec> {
     points_of(
         (20..=140)
@@ -567,6 +653,25 @@ mod tests {
             assert!(!campaign.points.is_empty());
         }
         assert!(grid("nope", 2).is_none());
+    }
+
+    #[test]
+    fn every_serve_grid_id_builds_a_campaign() {
+        for id in SERVE_GRID_IDS {
+            let campaign = serve_grid(id, 2).unwrap_or_else(|| panic!("{id} should build"));
+            assert_eq!(campaign.id, *id);
+            assert!(!campaign.points.is_empty());
+        }
+        assert!(serve_grid("nope", 2).is_none());
+    }
+
+    #[test]
+    fn serve_tables_mirror_the_grid() {
+        let campaign = serve_grid("serve-ci", 1).unwrap();
+        let report = snsp_serve::run_serve_campaign(&campaign);
+        let tables = serve_tables(&report, "serve-ci");
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), campaign.points.len());
     }
 
     #[test]

@@ -14,8 +14,16 @@
 //!   identical at every worker count; --reference adds a branch-and-bound
 //!   column on small points.
 //!
+//! snsp-experiments serve --grid <serve-ci|poisson|burst|churn>
+//!                        [--seeds K] [--workers W] [--json PATH]
+//!                        [--stable-json] [--out DIR]
+//!   Replays the trace grid as one parallel online-serving campaign and
+//!   writes BENCH_serve.json (schema v2, byte-identical at any worker
+//!   count in --stable-json form).
+//!
 //! snsp-experiments validate <PATH>
-//!   Schema-checks a BENCH_sweep.json; exits non-zero on violations.
+//!   Schema-checks a BENCH_sweep.json (v1) or BENCH_serve.json (v2,
+//!   sniffed via its "kind" discriminator); exits non-zero on violations.
 //! ```
 
 mod experiments;
@@ -24,7 +32,8 @@ mod table;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use snsp_sweep::{run_campaign, validate_report, ReferenceConfig};
+use snsp_serve::run_serve_campaign;
+use snsp_sweep::{run_campaign, validate_report, validate_serve_report, ReferenceConfig};
 use table::Table;
 
 struct Args {
@@ -97,6 +106,8 @@ fn usage() -> String {
     "usage: snsp-experiments <table1|fig2a|fig2b|fig3|fig3n20|large|lowfreq|rates|vsopt|engine|\
      bounds|mutable|budget|multiapp|all> [--seeds K] [--out DIR]\n\
      \u{20}      snsp-experiments sweep --grid <ID> [--seeds K] [--workers W] [--reference] \
+     [--json PATH] [--stable-json] [--out DIR]\n\
+     \u{20}      snsp-experiments serve --grid <ID> [--seeds K] [--workers W] \
      [--json PATH] [--stable-json] [--out DIR]\n\
      \u{20}      snsp-experiments validate <PATH>"
         .to_string()
@@ -184,12 +195,68 @@ fn run_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn run_serve(args: &Args) -> Result<(), String> {
+    let grid_id = args
+        .grid
+        .as_deref()
+        .ok_or_else(|| format!("serve needs --grid <id>\n{}", usage()))?;
+    let mut campaign = experiments::serve_grid(grid_id, args.seeds).ok_or_else(|| {
+        format!(
+            "unknown serve grid {grid_id}; available: {}",
+            experiments::SERVE_GRID_IDS.join(" ")
+        )
+    })?;
+    if let Some(w) = args.workers {
+        campaign = campaign.with_workers(w);
+    }
+
+    let report = run_serve_campaign(&campaign);
+    let tables = experiments::serve_tables(&report, &format!("serve campaign {grid_id}"));
+    write_tables(&format!("serve_{grid_id}"), &tables, &args.out_dir);
+
+    let json_path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| args.out_dir.join("BENCH_serve.json"));
+    let body = report.render_json(!args.stable_json);
+    validate_serve_report(&body)
+        .map_err(|errors| format!("generated serve report failed validation: {errors:?}"))?;
+    if let Some(dir) = json_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&json_path, &body)
+        .map_err(|e| format!("could not write {}: {e}", json_path.display()))?;
+    println!("[json] {}", json_path.display());
+    if let Some(t) = &report.timing {
+        println!(
+            "[serve {grid_id}] {} traces on {} workers: run {:.3}s, total {:.3}s",
+            t.jobs, t.workers, t.run_s, t.total_s
+        );
+    }
+    Ok(())
+}
+
 fn run_validate(path: &PathBuf) -> Result<(), String> {
     let body = std::fs::read_to_string(path)
         .map_err(|e| format!("could not read {}: {e}", path.display()))?;
-    match validate_report(&body) {
+    // Sniff the document kind: serve reports carry `"kind": "serve"`.
+    let serve = snsp_sweep::json::parse(&body)
+        .ok()
+        .and_then(|doc| {
+            doc.get("kind")
+                .and_then(snsp_sweep::Json::as_str)
+                .map(str::to_string)
+        })
+        .as_deref()
+        == Some("serve");
+    let (label, outcome) = if serve {
+        ("BENCH_serve.json (schema v2)", validate_serve_report(&body))
+    } else {
+        ("BENCH_sweep.json (schema v1)", validate_report(&body))
+    };
+    match outcome {
         Ok(()) => {
-            println!("{}: valid BENCH_sweep.json (schema v1)", path.display());
+            println!("{}: valid {label}", path.display());
             Ok(())
         }
         Err(errors) => {
@@ -219,6 +286,13 @@ fn main() {
     }
     if args.experiment == "sweep" {
         if let Err(e) = run_sweep(&args) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.experiment == "serve" {
+        if let Err(e) = run_serve(&args) {
             eprintln!("{e}");
             std::process::exit(2);
         }

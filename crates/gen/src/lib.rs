@@ -5,6 +5,10 @@
 //! "large" (450–530 MB) range, high (1/2 s) or low (1/50 s) download
 //! frequencies, and the 6-server / Table-1-catalog platform.
 //!
+//! The [`arrival`] module extends the methodology to *online* workloads:
+//! Poisson tenant arrivals with heavy-tailed holding times, burst
+//! scenarios and processor-failure events, consumed by `snsp-serve`.
+//!
 //! ```
 //! use snsp_gen::{paper_instance, ScenarioParams, TreeShape};
 //!
@@ -19,10 +23,15 @@
 //! assert!(custom.tree.is_left_deep());
 //! ```
 
+pub mod arrival;
 pub mod params;
 pub mod scenario;
 pub mod tree_gen;
 
+pub use arrival::{
+    generate_trace, tenant_instance, trace_environment, Burst, TenantSpec, TimedEvent, Trace,
+    TraceEvent, TraceParams,
+};
 pub use params::{Frequency, ScenarioParams, SizeRange};
 pub use scenario::{generate, generate_objects, generate_platform, paper_instance, TreeShape};
 pub use tree_gen::{balanced_tree, left_deep_tree, random_tree};

@@ -1,0 +1,52 @@
+//! # snsp-serve — online multi-tenant serving over a shared platform
+//!
+//! The paper provisions a platform once, for one application. Its §6
+//! names concurrent applications as the open direction, and
+//! `snsp_core::multi` solves the *offline* version. This crate closes
+//! the loop for a production setting: tenants **arrive and depart over
+//! time** (`snsp_gen::arrival` traces — Poisson arrivals, heavy-tailed
+//! holding times, bursts, processor failures), and the platform stays
+//! paid-for and shared while it elastically grows and shrinks.
+//!
+//! ## Quick tour
+//!
+//! * [`LivePlatform`] — the live state: purchased processors, resident
+//!   tenants, download streams. Each arrival runs **incremental
+//!   placement**: the heuristic's groups are first-fit packed onto
+//!   already-purchased machines (joint-demand feasibility via
+//!   `snsp_core::multi::shared_demand`, shared downloads via the
+//!   `DownloadLedger`) before any new machine is bought; departures
+//!   reclaim streams and machines and trigger an opportunistic
+//!   re-consolidation + downgrade pass; failures re-map displaced
+//!   operators or evict their tenants.
+//! * [`run_trace`] — deterministic trace replay producing a
+//!   [`TraceReport`]: admission rate, `∫ cost dt`, utilization, SLO
+//!   violations spot-validated by running `snsp_engine` on per-tenant
+//!   projections of the platform snapshot.
+//! * [`ServeCampaign`] / [`run_serve_campaign`] — whole trace grids on
+//!   `snsp-sweep`'s pool, with schema-v2 JSON that is byte-identical at
+//!   any worker count
+//!   ([`validate_serve_report`](snsp_sweep::validate_serve_report)).
+//!
+//! ```
+//! use snsp_gen::{generate_trace, TraceParams};
+//! use snsp_serve::{run_trace, ServeConfig};
+//!
+//! let trace = generate_trace(&TraceParams::poisson(0.3, 5.0, 20.0), 42);
+//! let report = run_trace(&trace, &ServeConfig::default());
+//! assert_eq!(report.admitted + report.rejected, report.arrivals);
+//! assert_eq!(report.slo_violations, 0); // admissions hold up in the engine
+//! assert!(report.cost_time_integral >= 0.0);
+//! ```
+
+pub mod campaign;
+pub mod platform;
+pub mod report;
+pub mod sim;
+
+pub use campaign::{
+    run_serve_campaign, ServeCampaign, ServeCampaignReport, ServePoint, ServePointReport,
+};
+pub use platform::{AdmitError, AdmitOutcome, FailOutcome, LivePlatform, Tenant};
+pub use report::TraceReport;
+pub use sim::{run_trace, ServeConfig};

@@ -1,0 +1,882 @@
+//! The live shared platform: tenants, purchased processors, download
+//! streams, and the incremental operations that mutate them.
+//!
+//! A [`LivePlatform`] is the online counterpart of an offline
+//! [`MultiSolution`](snsp_core::multi::MultiSolution): processors are
+//! bought lazily as tenants arrive, shared aggressively (an arriving
+//! tree is first packed onto already-purchased machines, reusing the
+//! [`shared_demand`] calculus and the [`DownloadLedger`] from
+//! `snsp_core::multi`), reclaimed when tenants depart, and re-mapped
+//! around failures. Every mutation is transactional — it either commits
+//! a state in which every tenant's constraints hold jointly, or leaves
+//! the platform untouched — and fully deterministic: all iteration runs
+//! in ascending slot/tenant order and the only randomness is the seeded
+//! placement heuristic.
+//!
+//! Processor *slots* are never recycled: a sold or failed slot stays a
+//! tombstone so event logs and assignments keep stable ids for the whole
+//! trace. [`LivePlatform::snapshot`] compacts live slots into a
+//! contiguous [`MultiInstance`]/[`MultiSolution`] pair for offline
+//! verification ([`verify_joint`](snsp_core::multi::verify_joint)) and
+//! engine spot-runs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snsp_core::heuristics::{Heuristic, HeuristicError, PipelineOptions};
+use snsp_core::ids::{OpId, ProcId, TenantId, TypeId};
+use snsp_core::instance::Instance;
+use snsp_core::multi::{shared_demand, DownloadLedger, MultiInstance, MultiSolution, SharedDemand};
+use snsp_core::object::ObjectCatalog;
+use snsp_core::platform::Platform;
+
+/// One admitted application.
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    /// Trace-assigned identity.
+    pub id: TenantId,
+    /// The application (tree + ρ over the shared platform).
+    pub inst: Instance,
+    /// `a(i)` into the live slot table.
+    pub assignment: Vec<ProcId>,
+}
+
+/// Why an admission was refused.
+#[derive(Debug, Clone)]
+pub enum AdmitError {
+    /// The placement heuristic could not group the tree at all.
+    Placement(HeuristicError),
+    /// A group fits neither an existing processor nor any purchasable
+    /// kind.
+    NoCapacity {
+        /// First operator of the unplaceable group.
+        op: OpId,
+    },
+    /// Server/link capacity could not source a required download stream.
+    Downloads(HeuristicError),
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Placement(e) => write!(f, "placement failed: {e}"),
+            AdmitError::NoCapacity { op } => {
+                write!(f, "no processor (existing or new) can host operator {op}")
+            }
+            AdmitError::Downloads(e) => write!(f, "download sourcing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// What an admission changed.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmitOutcome {
+    /// Processors bought for this tenant.
+    pub new_procs: usize,
+    /// Existing processors the tenant was packed onto.
+    pub reused_procs: usize,
+    /// Platform cost before the admission.
+    pub cost_before: u64,
+    /// Platform cost after the admission.
+    pub cost_after: u64,
+}
+
+/// What a processor failure caused.
+#[derive(Debug, Clone, Default)]
+pub struct FailOutcome {
+    /// The failed slot, if any processor was live.
+    pub victim: Option<ProcId>,
+    /// Tenants whose displaced operators were re-mapped successfully.
+    pub remapped: Vec<TenantId>,
+    /// Tenants evicted because no re-mapping existed.
+    pub evicted: Vec<TenantId>,
+}
+
+/// A block being test-fitted onto a slot: the candidate application, the
+/// operators that would land there, and the co-location oracle for the
+/// candidate's ops (`true` ⇒ "ends up on this slot").
+type ExtraBlock<'a> = (&'a Instance, &'a [OpId], &'a dyn Fn(OpId) -> bool);
+
+/// The mutable state of one online serving run.
+#[derive(Debug, Clone)]
+pub struct LivePlatform {
+    objects: ObjectCatalog,
+    platform: Platform,
+    /// Catalog kind per slot; `None` = sold or failed (tombstone).
+    slots: Vec<Option<usize>>,
+    tenants: BTreeMap<u32, Tenant>,
+    ledger: DownloadLedger,
+}
+
+impl LivePlatform {
+    /// An empty platform over the shared environment.
+    pub fn new(objects: ObjectCatalog, platform: Platform) -> Self {
+        let ledger = DownloadLedger::new(&platform);
+        LivePlatform {
+            objects,
+            platform,
+            slots: Vec::new(),
+            tenants: BTreeMap::new(),
+            ledger,
+        }
+    }
+
+    /// The shared object catalog.
+    pub fn objects(&self) -> &ObjectCatalog {
+        &self.objects
+    }
+
+    /// The shared physical platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Live slot indices, ascending.
+    pub fn live_slots(&self) -> Vec<usize> {
+        (0..self.slots.len())
+            .filter(|&u| self.slots[u].is_some())
+            .collect()
+    }
+
+    /// Number of live processors.
+    pub fn proc_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of resident tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Resident tenant ids, ascending.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.tenants.keys().map(|&k| TenantId(k)).collect()
+    }
+
+    /// A resident tenant.
+    pub fn tenant(&self, id: TenantId) -> Option<&Tenant> {
+        self.tenants.get(&id.0)
+    }
+
+    /// Current platform cost in dollars (live slots only).
+    pub fn cost(&self) -> u64 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|&k| self.platform.catalog.kind(k).cost)
+            .sum()
+    }
+
+    /// Aggregate CPU utilization: total demanded Gop/s over total
+    /// purchased Gop/s (0 when no processor is live).
+    pub fn utilization(&self) -> f64 {
+        let mut used = 0.0;
+        for t in self.tenants.values() {
+            for op in t.inst.tree.ops() {
+                used += t.inst.rho * t.inst.tree.work(op);
+            }
+        }
+        let speed: f64 = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|&k| self.platform.catalog.kind(k).speed)
+            .sum();
+        if speed > 0.0 {
+            used / speed
+        } else {
+            0.0
+        }
+    }
+
+    /// Operators each tenant keeps on slot `u`, ascending tenant id.
+    fn blocks_on(&self, u: usize) -> Vec<(u32, Vec<OpId>)> {
+        let mut out = Vec::new();
+        for (&tid, t) in &self.tenants {
+            let ops: Vec<OpId> = t
+                .inst
+                .tree
+                .ops()
+                .filter(|&op| t.assignment[op.index()].index() == u)
+                .collect();
+            if !ops.is_empty() {
+                out.push((tid, ops));
+            }
+        }
+        out
+    }
+
+    /// Joint demand of everything resident on slot `u`, plus an optional
+    /// extra block `(instance, ops, effective-slot-of)` being test-fitted.
+    fn slot_demand(&self, u: usize, extra: Option<ExtraBlock<'_>>) -> SharedDemand {
+        let resident = self.blocks_on(u);
+        let mut members: Vec<(&Instance, &[OpId])> = Vec::new();
+        for (tid, ops) in &resident {
+            members.push((&self.tenants[tid].inst, ops.as_slice()));
+        }
+        if let Some((inst, ops, _)) = extra {
+            members.push((inst, ops));
+        }
+        let n_resident = resident.len();
+        shared_demand(&members, |m, op| {
+            if m < n_resident {
+                let t = &self.tenants[&resident[m].0];
+                t.assignment[op.index()].index() == u
+            } else {
+                let (_, _, on_slot) = extra.as_ref().unwrap();
+                on_slot(op)
+            }
+        })
+    }
+
+    /// The cheapest kind hosting `demand`, or `None` if not even the most
+    /// capable kind (or the pair link) can.
+    fn kind_fitting(&self, d: &SharedDemand) -> Option<usize> {
+        let top = self.platform.catalog.most_expensive();
+        if !d.fits(&self.platform.catalog.kind(top), self.platform.proc_link) {
+            return None;
+        }
+        self.platform.catalog.cheapest_fitting(d.work, d.nic_need())
+    }
+
+    /// Ensures download streams on slot `u` for every object type the
+    /// given operators of `inst` need (idempotent per `(slot, type)`, so
+    /// types another tenant already streams are free — the shared-download
+    /// saving).
+    fn ensure_downloads(
+        ledger: &mut DownloadLedger,
+        platform: &Platform,
+        objects: &ObjectCatalog,
+        inst: &Instance,
+        ops: &[OpId],
+        u: usize,
+    ) -> Result<(), HeuristicError> {
+        let mut types: Vec<TypeId> = ops
+            .iter()
+            .flat_map(|&op| inst.tree.leaf_types(op).iter().copied())
+            .collect();
+        types.sort_unstable();
+        types.dedup();
+        for ty in types {
+            ledger.ensure(platform, objects.rate(ty), ProcId::from(u), ty)?;
+        }
+        Ok(())
+    }
+
+    /// Admits tenant `id` with application `inst`: places the tree with
+    /// `heuristic` (RNG derived from `seed`), then packs each group onto
+    /// the first existing processor whose joint demand still fits —
+    /// upgrading or downgrading that processor's kind as needed — buying
+    /// new processors only for groups no live machine can absorb.
+    /// Transactional: on any error the platform is unchanged.
+    pub fn admit(
+        &mut self,
+        id: TenantId,
+        inst: Instance,
+        heuristic: &dyn Heuristic,
+        seed: u64,
+        opts: &PipelineOptions,
+    ) -> Result<AdmitOutcome, AdmitError> {
+        assert!(
+            !self.tenants.contains_key(&id.0),
+            "tenant {id} admitted twice"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let placed = heuristic
+            .place(&inst, &mut rng, &opts.placement)
+            .map_err(AdmitError::Placement)?;
+        let cost_before = self.cost();
+
+        // Scratch state: commit only when every group and download lands.
+        let mut slots = self.slots.clone();
+        let mut ledger = self.ledger.clone();
+        let mut assignment = vec![ProcId(u32::MAX); inst.tree.len()];
+        let mut reused: BTreeSet<usize> = BTreeSet::new();
+        let mut bought: Vec<usize> = Vec::new();
+
+        for group in &placed.groups {
+            let in_group: BTreeSet<usize> = group.ops.iter().map(|op| op.index()).collect();
+            let mut chosen = None;
+            // First-fit over already-purchased processors, ascending.
+            for (u, slot) in slots.iter().enumerate() {
+                if slot.is_none() {
+                    continue;
+                }
+                let on_slot = |op: OpId| {
+                    in_group.contains(&op.index()) || assignment[op.index()].index() == u
+                };
+                // The candidate block: this group plus any of the same
+                // tenant's earlier groups already packed onto `u`.
+                let mut block: Vec<OpId> = group.ops.clone();
+                block.extend(
+                    inst.tree
+                        .ops()
+                        .filter(|&op| assignment[op.index()].index() == u),
+                );
+                let d = self.slot_demand(u, Some((&inst, &block, &on_slot)));
+                if let Some(kind) = self.kind_fitting(&d) {
+                    chosen = Some((u, kind, false));
+                    break;
+                }
+            }
+            // Otherwise buy the cheapest machine hosting the group alone.
+            if chosen.is_none() {
+                let on_slot = |op: OpId| in_group.contains(&op.index());
+                let d = shared_demand(&[(&inst, group.ops.as_slice())], |_, op| on_slot(op));
+                let Some(kind) = self.kind_fitting(&d) else {
+                    return Err(AdmitError::NoCapacity { op: group.ops[0] });
+                };
+                slots.push(None); // reserve the new slot index
+                chosen = Some((slots.len() - 1, kind, true));
+            }
+            let (u, kind, new) = chosen.unwrap();
+            slots[u] = Some(kind);
+            if new {
+                bought.push(u);
+            } else {
+                reused.insert(u);
+            }
+            for &op in &group.ops {
+                assignment[op.index()] = ProcId::from(u);
+            }
+        }
+
+        // Download streams for every touched slot.
+        let mut touched: Vec<usize> = assignment.iter().map(|p| p.index()).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for &u in &touched {
+            let ops: Vec<OpId> = inst
+                .tree
+                .ops()
+                .filter(|&op| assignment[op.index()].index() == u)
+                .collect();
+            Self::ensure_downloads(&mut ledger, &self.platform, &self.objects, &inst, &ops, u)
+                .map_err(AdmitError::Downloads)?;
+        }
+
+        // Commit.
+        self.slots = slots;
+        self.ledger = ledger;
+        self.tenants.insert(
+            id.0,
+            Tenant {
+                id,
+                inst,
+                assignment,
+            },
+        );
+        self.downgrade_all();
+        Ok(AdmitOutcome {
+            new_procs: bought.len(),
+            reused_procs: reused.len(),
+            cost_before,
+            cost_after: self.cost(),
+        })
+    }
+
+    /// Removes a tenant, reclaims its download streams and empty
+    /// processors, then runs the opportunistic re-consolidation and
+    /// downgrade passes. Returns `false` if the tenant was not resident
+    /// (rejected or already evicted).
+    pub fn depart(&mut self, id: TenantId) -> bool {
+        let Some(t) = self.tenants.remove(&id.0) else {
+            return false;
+        };
+        let mut touched: Vec<usize> = t.assignment.iter().map(|p| p.index()).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for &u in &touched {
+            self.prune_downloads(u);
+        }
+        self.sell_empty_slots();
+        self.reconsolidate();
+        self.downgrade_all();
+        true
+    }
+
+    /// Kills the live processor selected by `lottery`, re-maps every
+    /// displaced operator block onto the surviving machines (buying
+    /// replacements when packing fails), and evicts tenants whose blocks
+    /// fit nowhere.
+    pub fn fail(&mut self, lottery: u64) -> FailOutcome {
+        let live = self.live_slots();
+        let mut out = FailOutcome::default();
+        if live.is_empty() {
+            return out;
+        }
+        let victim = live[(lottery % live.len() as u64) as usize];
+        out.victim = Some(ProcId::from(victim));
+
+        // The machine is gone: its streams release server/link capacity.
+        for d in self.ledger.downloads_of(ProcId::from(victim)) {
+            self.ledger.release(self.objects.rate(d.ty), d.proc, d.ty);
+        }
+        self.slots[victim] = None;
+
+        let displaced = self.blocks_on(victim);
+        for (tid, ops) in displaced {
+            if self.replace_block(tid, &ops, victim) {
+                out.remapped.push(TenantId(tid));
+            } else {
+                self.evict(tid);
+                out.evicted.push(TenantId(tid));
+            }
+        }
+        self.sell_empty_slots();
+        self.downgrade_all();
+        out
+    }
+
+    /// Re-places one tenant's displaced block (currently assigned to the
+    /// dead slot `dead`): first-fit over live slots, then a fresh
+    /// purchase. Commits assignment + downloads on success.
+    fn replace_block(&mut self, tid: u32, ops: &[OpId], dead: usize) -> bool {
+        let in_block: BTreeSet<usize> = ops.iter().map(|op| op.index()).collect();
+        let candidates: Vec<usize> = self.live_slots();
+        let no_overlay = BTreeMap::new();
+        for u in candidates {
+            // Same member/co-location accounting as an evacuation with an
+            // empty overlay: the block lands on `u` by hypothesis, so its
+            // edges to the tenant's ops already resident on `u` are free,
+            // and the tenant appears as one member, never two.
+            let d = self.evacuation_demand(u, dead, &no_overlay, &tid, ops, &in_block);
+            let Some(kind) = self.kind_fitting(&d) else {
+                continue;
+            };
+            let t = &self.tenants[&tid];
+            let mut ledger = self.ledger.clone();
+            if Self::ensure_downloads(&mut ledger, &self.platform, &self.objects, &t.inst, ops, u)
+                .is_err()
+            {
+                continue;
+            }
+            self.ledger = ledger;
+            self.slots[u] = Some(kind);
+            let t = self.tenants.get_mut(&tid).unwrap();
+            for &op in ops {
+                t.assignment[op.index()] = ProcId::from(u);
+            }
+            return true;
+        }
+        // Buy a replacement machine.
+        let t = &self.tenants[&tid];
+        let d = shared_demand(&[(&t.inst, ops)], |_, op| in_block.contains(&op.index()));
+        let Some(kind) = self.kind_fitting(&d) else {
+            return false;
+        };
+        let u = self.slots.len();
+        let mut ledger = self.ledger.clone();
+        if Self::ensure_downloads(&mut ledger, &self.platform, &self.objects, &t.inst, ops, u)
+            .is_err()
+        {
+            return false;
+        }
+        self.ledger = ledger;
+        self.slots.push(Some(kind));
+        let t = self.tenants.get_mut(&tid).unwrap();
+        for &op in ops {
+            t.assignment[op.index()] = ProcId::from(u);
+        }
+        true
+    }
+
+    /// Removes a tenant without ceremony (used by eviction).
+    fn evict(&mut self, tid: u32) {
+        let Some(t) = self.tenants.remove(&tid) else {
+            return;
+        };
+        let mut touched: Vec<usize> = t.assignment.iter().map(|p| p.index()).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for &u in &touched {
+            if self.slots[u].is_some() {
+                self.prune_downloads(u);
+            }
+        }
+        self.sell_empty_slots();
+    }
+
+    /// Drops every download stream on `u` that no resident tenant still
+    /// needs.
+    fn prune_downloads(&mut self, u: usize) {
+        let mut needed: BTreeSet<TypeId> = BTreeSet::new();
+        for (tid, ops) in self.blocks_on(u) {
+            let t = &self.tenants[&tid];
+            for &op in &ops {
+                needed.extend(t.inst.tree.leaf_types(op).iter().copied());
+            }
+        }
+        for d in self.ledger.downloads_of(ProcId::from(u)) {
+            if !needed.contains(&d.ty) {
+                self.ledger.release(self.objects.rate(d.ty), d.proc, d.ty);
+            }
+        }
+    }
+
+    /// Sells every live slot hosting no operators.
+    fn sell_empty_slots(&mut self) {
+        let mut occupied: BTreeSet<usize> = BTreeSet::new();
+        for t in self.tenants.values() {
+            occupied.extend(t.assignment.iter().map(|p| p.index()));
+        }
+        for u in 0..self.slots.len() {
+            if self.slots[u].is_some() && !occupied.contains(&u) {
+                for d in self.ledger.downloads_of(ProcId::from(u)) {
+                    self.ledger.release(self.objects.rate(d.ty), d.proc, d.ty);
+                }
+                self.slots[u] = None;
+            }
+        }
+    }
+
+    /// Opportunistic consolidation: for each live slot (lightest total
+    /// work first) try to evacuate *all* its blocks onto other live
+    /// machines; commit only when everything relocates and the total cost
+    /// strictly drops. One pass — departures trigger it repeatedly.
+    fn reconsolidate(&mut self) {
+        let mut order: Vec<(u64, usize)> = self
+            .live_slots()
+            .into_iter()
+            .map(|u| {
+                let d = self.slot_demand(u, None);
+                ((d.work * 1e6) as u64, u)
+            })
+            .collect();
+        order.sort_unstable();
+        for (_, u) in order {
+            if self.slots[u].is_some() {
+                self.try_evacuate(u);
+            }
+        }
+    }
+
+    /// Attempts to empty slot `u` by first-fit onto the other live slots.
+    fn try_evacuate(&mut self, u: usize) -> bool {
+        let blocks = self.blocks_on(u);
+        if blocks.is_empty() {
+            return false;
+        }
+        let cost_before = self.cost();
+        let mut slots = self.slots.clone();
+        slots[u] = None;
+        // Destination chosen per block; earlier decisions are visible to
+        // later fit tests through the overlay.
+        let mut overlay: BTreeMap<u32, usize> = BTreeMap::new();
+        for (tid, ops) in &blocks {
+            let in_block: BTreeSet<usize> = ops.iter().map(|op| op.index()).collect();
+            let mut dest = None;
+            for (v, slot) in slots.iter().enumerate() {
+                if v == u || slot.is_none() {
+                    continue;
+                }
+                let d = self.evacuation_demand(v, u, &overlay, tid, ops, &in_block);
+                if let Some(kind) = self.kind_fitting(&d) {
+                    dest = Some((v, kind));
+                    break;
+                }
+            }
+            let Some((v, kind)) = dest else {
+                return false; // cannot empty u; no commit
+            };
+            slots[v] = Some(kind);
+            overlay.insert(*tid, v);
+        }
+        // Move the streams: release everything on u, re-source per dest.
+        let mut ledger = self.ledger.clone();
+        for d in ledger.downloads_of(ProcId::from(u)) {
+            ledger.release(self.objects.rate(d.ty), d.proc, d.ty);
+        }
+        for (tid, ops) in &blocks {
+            let v = overlay[tid];
+            let t = &self.tenants[tid];
+            if Self::ensure_downloads(&mut ledger, &self.platform, &self.objects, &t.inst, ops, v)
+                .is_err()
+            {
+                return false;
+            }
+        }
+        let cost_after: u64 = slots
+            .iter()
+            .flatten()
+            .map(|&k| self.platform.catalog.kind(k).cost)
+            .sum();
+        if cost_after >= cost_before {
+            return false; // consolidation must pay for itself
+        }
+        // Commit.
+        self.slots = slots;
+        self.ledger = ledger;
+        for (tid, ops) in &blocks {
+            let v = overlay[tid];
+            let t = self.tenants.get_mut(tid).unwrap();
+            for &op in ops {
+                t.assignment[op.index()] = ProcId::from(v);
+            }
+        }
+        true
+    }
+
+    /// Demand on candidate slot `v` during the evacuation of `u`, with
+    /// `overlay` recording blocks already re-homed.
+    fn evacuation_demand(
+        &self,
+        v: usize,
+        u: usize,
+        overlay: &BTreeMap<u32, usize>,
+        tid: &u32,
+        ops: &[OpId],
+        in_block: &BTreeSet<usize>,
+    ) -> SharedDemand {
+        // Effective slot of any (tenant, op) under the overlay.
+        let eff = |t: u32, op: OpId| -> usize {
+            let a = self.tenants[&t].assignment[op.index()].index();
+            if a == u {
+                overlay.get(&t).copied().unwrap_or(a)
+            } else {
+                a
+            }
+        };
+        // Members on v: residents, overlay arrivals, plus the candidate.
+        let mut members: Vec<(&Instance, Vec<OpId>)> = Vec::new();
+        let mut member_tids: Vec<u32> = Vec::new();
+        for (&t, tenant) in &self.tenants {
+            let mut on_v: Vec<OpId> = tenant
+                .inst
+                .tree
+                .ops()
+                .filter(|&op| eff(t, op) == v)
+                .collect();
+            if t == *tid {
+                on_v.retain(|op| !in_block.contains(&op.index()));
+                on_v.extend(ops.iter().copied());
+            }
+            if !on_v.is_empty() {
+                members.push((&tenant.inst, on_v));
+                member_tids.push(t);
+            }
+        }
+        // The candidate tenant may have no ops on v yet: add it.
+        if !member_tids.contains(tid) {
+            members.push((&self.tenants[tid].inst, ops.to_vec()));
+            member_tids.push(*tid);
+        }
+        let views: Vec<(&Instance, &[OpId])> = members
+            .iter()
+            .map(|(inst, ops)| (*inst, ops.as_slice()))
+            .collect();
+        shared_demand(&views, |m, op| {
+            let t = member_tids[m];
+            if t == *tid && in_block.contains(&op.index()) {
+                return true; // the block lands on v by hypothesis
+            }
+            eff(t, op) == v
+        })
+    }
+
+    /// Re-fits every live slot to the cheapest kind hosting its current
+    /// joint demand (the online analogue of the paper's downgrade pass —
+    /// it also undoes now-oversized upgrades after departures).
+    fn downgrade_all(&mut self) {
+        for u in self.live_slots() {
+            let d = self.slot_demand(u, None);
+            if let Some(kind) = self.kind_fitting(&d) {
+                self.slots[u] = Some(kind);
+            }
+        }
+    }
+
+    /// Compacts the live platform into an offline snapshot: a
+    /// [`MultiInstance`] over the resident tenants (ascending id — index
+    /// `k` is `tenant_ids()[k]`) and the matching [`MultiSolution`], ready
+    /// for [`verify_joint`](snsp_core::multi::verify_joint) or per-tenant
+    /// engine projections via
+    /// [`mapping_for`](snsp_core::multi::MultiSolution::mapping_for).
+    /// `None` when no tenant is resident.
+    pub fn snapshot(&self) -> Option<(MultiInstance, MultiSolution)> {
+        if self.tenants.is_empty() {
+            return None;
+        }
+        let live = self.live_slots();
+        let remap: BTreeMap<usize, usize> = live
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
+        let apps: Vec<Instance> = self.tenants.values().map(|t| t.inst.clone()).collect();
+        let assignments: Vec<Vec<ProcId>> = self
+            .tenants
+            .values()
+            .map(|t| {
+                t.assignment
+                    .iter()
+                    .map(|p| ProcId::from(remap[&p.index()]))
+                    .collect()
+            })
+            .collect();
+        let mut downloads: Vec<snsp_core::mapping::Download> = self
+            .ledger
+            .downloads()
+            .into_iter()
+            .filter(|d| remap.contains_key(&d.proc.index()))
+            .map(|mut d| {
+                d.proc = ProcId::from(remap[&d.proc.index()]);
+                d
+            })
+            .collect();
+        downloads.sort_unstable();
+        let proc_kinds: Vec<usize> = live.iter().map(|&u| self.slots[u].unwrap()).collect();
+        let cost = self.cost();
+        let multi = MultiInstance::new(apps).ok()?;
+        Some((
+            multi,
+            MultiSolution {
+                proc_kinds,
+                assignments,
+                downloads,
+                cost,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snsp_core::heuristics::SubtreeBottomUp;
+    use snsp_core::multi::verify_joint;
+    use snsp_gen::{tenant_instance, trace_environment, TenantSpec, TraceParams, TreeShape};
+
+    fn environment(seed: u64) -> LivePlatform {
+        let params = TraceParams::poisson(0.5, 5.0, 20.0);
+        let (objects, platform) = trace_environment(&params, seed);
+        LivePlatform::new(objects, platform)
+    }
+
+    fn spec(n_ops: usize, rho: f64, tree_seed: u64) -> TenantSpec {
+        TenantSpec {
+            n_ops,
+            alpha: 1.0,
+            rho,
+            shape: TreeShape::Random,
+            tree_seed,
+        }
+    }
+
+    fn admit(live: &mut LivePlatform, id: u32, s: TenantSpec) -> Result<AdmitOutcome, AdmitError> {
+        let inst = tenant_instance(live.objects(), live.platform(), &s);
+        live.admit(
+            TenantId(id),
+            inst,
+            &SubtreeBottomUp,
+            1000 + id as u64,
+            &PipelineOptions::default(),
+        )
+    }
+
+    #[test]
+    fn admissions_share_processors_and_verify_jointly() {
+        let mut live = environment(1);
+        let first = admit(&mut live, 0, spec(10, 1.0, 11)).expect("first tenant fits");
+        assert!(first.new_procs >= 1);
+        assert_eq!(first.cost_before, 0);
+        let mut any_reuse = false;
+        for id in 1..5u32 {
+            let out =
+                admit(&mut live, id, spec(8, 0.8, 20 + id as u64)).expect("small tenants fit");
+            any_reuse |= out.reused_procs > 0;
+            assert!(out.cost_after >= out.cost_before || out.new_procs == 0);
+        }
+        assert!(any_reuse, "incremental packing never reused a machine");
+        let (multi, sol) = live.snapshot().unwrap();
+        verify_joint(&multi, &sol).expect("joint constraints hold after admissions");
+        assert_eq!(sol.assignments.len(), 5);
+    }
+
+    #[test]
+    fn departures_reclaim_cost_down_to_zero() {
+        let mut live = environment(2);
+        for id in 0..4u32 {
+            admit(&mut live, id, spec(8, 1.0, 40 + id as u64)).unwrap();
+        }
+        let full_cost = live.cost();
+        assert!(full_cost > 0);
+        for id in 0..4u32 {
+            assert!(live.depart(TenantId(id)));
+            if let Some((multi, sol)) = live.snapshot() {
+                verify_joint(&multi, &sol).expect("still feasible after departure");
+            }
+        }
+        assert_eq!(live.cost(), 0, "everything reclaimed");
+        assert_eq!(live.proc_count(), 0);
+        assert!(!live.depart(TenantId(0)), "double departure is a no-op");
+    }
+
+    #[test]
+    fn reconsolidation_never_raises_cost() {
+        let mut live = environment(3);
+        for id in 0..6u32 {
+            let _ = admit(&mut live, id, spec(9, 0.7, 60 + id as u64));
+        }
+        let before = live.cost();
+        // Departing half the tenants must never leave cost above the
+        // pre-departure platform.
+        for id in [0u32, 2, 4] {
+            live.depart(TenantId(id));
+            assert!(live.cost() <= before);
+        }
+        if let Some((multi, sol)) = live.snapshot() {
+            verify_joint(&multi, &sol).expect("consolidated platform verifies");
+        }
+    }
+
+    #[test]
+    fn failures_remap_or_evict_and_stay_feasible() {
+        let mut live = environment(4);
+        for id in 0..4u32 {
+            admit(&mut live, id, spec(8, 1.0, 80 + id as u64)).unwrap();
+        }
+        let tenants_before = live.tenant_count();
+        let out = live.fail(7);
+        assert!(out.victim.is_some());
+        assert_eq!(
+            live.tenant_count(),
+            tenants_before - out.evicted.len(),
+            "every displaced tenant is either remapped or evicted"
+        );
+        if let Some((multi, sol)) = live.snapshot() {
+            verify_joint(&multi, &sol).expect("post-failure platform verifies");
+        }
+        // Failing an empty platform is a no-op.
+        let mut empty = environment(5);
+        assert!(empty.fail(0).victim.is_none());
+    }
+
+    #[test]
+    fn admission_is_deterministic() {
+        let run = || {
+            let mut live = environment(6);
+            for id in 0..5u32 {
+                let _ = admit(&mut live, id, spec(10, 1.0, 90 + id as u64));
+            }
+            live.fail(3);
+            live.depart(TenantId(1));
+            (
+                live.cost(),
+                live.proc_count(),
+                live.tenant_ids(),
+                live.snapshot().map(|(_, s)| s.downloads),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+        assert_eq!(a.3, b.3);
+    }
+}

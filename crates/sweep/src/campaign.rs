@@ -135,9 +135,11 @@ impl Campaign {
         self
     }
 
-    /// Pins the worker count (1 = serial baseline).
+    /// Pins the worker count (1 = serial baseline). A request for 0
+    /// workers clamps to 1: a campaign always makes progress, rather than
+    /// depending on whatever an empty pool would do.
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = Some(workers);
+        self.workers = Some(workers.max(1));
         self
     }
 
@@ -336,6 +338,18 @@ mod tests {
             }
             assert!(point.reference.is_none());
         }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_serial() {
+        // Pin the contract: `with_workers(0)` must behave exactly like an
+        // explicit serial run, not fall through to the pool's own
+        // clamping (or worse, a stalled empty pool).
+        let campaign = small_campaign(0);
+        assert_eq!(campaign.workers, Some(1));
+        let clamped = run_campaign(&campaign);
+        let serial = run_campaign(&small_campaign(1));
+        assert_eq!(clamped.render_json(false), serial.render_json(false));
     }
 
     #[test]

@@ -1,11 +1,19 @@
-//! Structural validation of `BENCH_sweep.json` documents.
+//! Structural validation of `BENCH_sweep.json` and `BENCH_serve.json`
+//! documents.
 //!
-//! CI uploads the report as a workflow artifact and fails the build when
-//! this check rejects it, so downstream tooling (perf dashboards, diff
-//! scripts) can rely on schema v1 without defensive parsing.
+//! CI uploads the reports as workflow artifacts and fails the build when
+//! these checks reject them, so downstream tooling (perf dashboards,
+//! diff scripts) can rely on the schemas without defensive parsing.
+//! Campaign reports are **schema v1** ([`validate_report`]); online
+//! serving reports are **schema v2** ([`validate_serve_report`]), which
+//! adds the `kind: "serve"` discriminator, the trace-grid config echo and
+//! the service-metric result rows.
 
 use crate::json::{parse, Json};
 use crate::sink::SCHEMA_VERSION;
+
+/// The schema version stamped into (and required of) every serve report.
+pub const SERVE_SCHEMA_VERSION: i64 = 2;
 
 /// Validates a serialized campaign report against schema v1.
 ///
@@ -158,6 +166,203 @@ pub fn validate_report(text: &str) -> Result<(), Vec<String>> {
     }
 }
 
+/// Validates a serialized online-serving campaign report against schema
+/// v2 (the `BENCH_serve.json` document written by `snsp-serve`).
+///
+/// Returns every violation found (empty ⇒ valid); a parse failure is a
+/// single violation.
+pub fn validate_serve_report(text: &str) -> Result<(), Vec<String>> {
+    let doc = match parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Err(vec![format!("not JSON: {e}")]),
+    };
+    let mut errors = Vec::new();
+    let mut check = |cond: bool, msg: &str| {
+        if !cond {
+            errors.push(msg.to_string());
+        }
+    };
+
+    check(
+        doc.get("schema_version").and_then(Json::as_int) == Some(SERVE_SCHEMA_VERSION),
+        "schema_version must be the integer 2",
+    );
+    check(
+        doc.get("kind").and_then(Json::as_str) == Some("serve"),
+        "kind must be the string \"serve\"",
+    );
+    check(
+        doc.get("generator")
+            .and_then(Json::as_str)
+            .is_some_and(|s| s.starts_with("snsp-serve")),
+        "generator must be an snsp-serve version string",
+    );
+    check(
+        doc.get("campaign")
+            .and_then(Json::as_str)
+            .is_some_and(|s| !s.is_empty()),
+        "campaign must be a non-empty string",
+    );
+
+    let point_count = match doc.get("config") {
+        None => {
+            errors.push("config object missing".to_string());
+            None
+        }
+        Some(config) => {
+            if config.get("seeds").and_then(Json::as_int).unwrap_or(0) < 1 {
+                errors.push("config.seeds must be a positive integer".to_string());
+            }
+            if !config
+                .get("slo_frac")
+                .and_then(Json::as_num)
+                .is_some_and(|v| (0.0..=1.0).contains(&v))
+            {
+                errors.push("config.slo_frac must be a number in [0, 1]".to_string());
+            }
+            match config.get("points").and_then(Json::as_arr) {
+                None => {
+                    errors.push("config.points must be an array".to_string());
+                    None
+                }
+                Some(points) => {
+                    for (i, p) in points.iter().enumerate() {
+                        if p.get("label").and_then(Json::as_str).is_none() {
+                            errors.push(format!("config.points[{i}].label must be a string"));
+                        }
+                        for key in ["lambda", "mean_hold", "pareto_shape", "horizon"] {
+                            if !p.get(key).and_then(Json::as_num).is_some_and(|v| v > 0.0) {
+                                errors.push(format!(
+                                    "config.points[{i}].{key} must be a positive number"
+                                ));
+                            }
+                        }
+                        if !p
+                            .get("fail_rate")
+                            .and_then(Json::as_num)
+                            .is_some_and(|v| v >= 0.0)
+                        {
+                            errors.push(format!(
+                                "config.points[{i}].fail_rate must be a non-negative number"
+                            ));
+                        }
+                        for key in ["n_ops", "alpha", "rho"] {
+                            if p.get(key).and_then(Json::as_arr).map(<[Json]>::len) != Some(2) {
+                                errors
+                                    .push(format!("config.points[{i}].{key} must be a pair array"));
+                            }
+                        }
+                        match p.get("burst") {
+                            None => errors.push(format!("config.points[{i}].burst key missing")),
+                            Some(Json::Null) => {}
+                            Some(b) => {
+                                for key in ["period", "width", "multiplier"] {
+                                    if b.get(key).and_then(Json::as_num).is_none() {
+                                        errors.push(format!(
+                                            "config.points[{i}].burst.{key} must be a number"
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Some(points.len())
+                }
+            }
+        }
+    };
+
+    match doc.get("results").and_then(Json::as_arr) {
+        None => errors.push("results must be an array".to_string()),
+        Some(results) => {
+            if let Some(n) = point_count {
+                if results.len() != n {
+                    errors.push(format!(
+                        "results has {} entries but config.points has {n}",
+                        results.len()
+                    ));
+                }
+            }
+            for (i, point) in results.iter().enumerate() {
+                let at = format!("results[{i}]");
+                if point.get("label").and_then(Json::as_str).is_none() {
+                    errors.push(format!("{at}.label must be a string"));
+                }
+                let mut int_of = |key: &str| -> Option<i64> {
+                    let v = point.get(key).and_then(Json::as_int).filter(|&v| v >= 0);
+                    if v.is_none() {
+                        errors.push(format!("{at}.{key} must be a non-negative integer"));
+                    }
+                    v
+                };
+                let arrivals = int_of("arrivals");
+                let admitted = int_of("admitted");
+                let rejected = int_of("rejected");
+                for key in [
+                    "traces",
+                    "departed",
+                    "evicted",
+                    "failures",
+                    "peak_procs",
+                    "slo_checks",
+                    "slo_violations",
+                ] {
+                    int_of(key);
+                }
+                if let (Some(a), Some(ad), Some(r)) = (arrivals, admitted, rejected) {
+                    if ad + r != a {
+                        errors.push(format!("{at}: admitted + rejected must equal arrivals"));
+                    }
+                }
+                if !point
+                    .get("admission_rate")
+                    .and_then(Json::as_num)
+                    .is_some_and(|v| (0.0..=1.0).contains(&v))
+                {
+                    errors.push(format!("{at}.admission_rate must be a number in [0, 1]"));
+                }
+                for key in ["mean_cost_integral", "mean_utilization", "mean_final_cost"] {
+                    if !point
+                        .get(key)
+                        .and_then(Json::as_num)
+                        .is_some_and(|v| v >= 0.0)
+                    {
+                        errors.push(format!("{at}.{key} must be a non-negative number"));
+                    }
+                }
+                if point
+                    .get("log_hash")
+                    .and_then(Json::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    errors.push(format!("{at}.log_hash must be a non-empty string"));
+                }
+            }
+        }
+    }
+
+    if let Some(timing) = doc.get("timing") {
+        if timing.get("workers").and_then(Json::as_int).unwrap_or(0) < 1 {
+            errors.push("timing.workers must be a positive integer".to_string());
+        }
+        for key in ["flatten_s", "run_s", "aggregate_s", "total_s"] {
+            if !timing
+                .get(key)
+                .and_then(Json::as_num)
+                .is_some_and(|v| v >= 0.0)
+            {
+                errors.push(format!("timing.{key} must be a non-negative number"));
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 fn validate_heur_row(row: &Json, i: usize, j: usize, errors: &mut Vec<String>) {
     let at = format!("results[{i}].heuristics[{j}]");
     if row.get("name").and_then(Json::as_str).is_none() {
@@ -255,6 +460,80 @@ mod tests {
         let errors = validate_report(text).unwrap_err();
         assert!(errors.iter().any(|e| e.contains("config")));
         assert!(errors.iter().any(|e| e.contains("results")));
+    }
+
+    /// A minimal well-formed serve document (what `snsp-serve` renders;
+    /// kept in sync by snsp-serve's own round-trip tests).
+    fn serve_doc() -> String {
+        r#"{
+  "schema_version": 2,
+  "generator": "snsp-serve 0.1.0",
+  "kind": "serve",
+  "campaign": "unit",
+  "config": {
+    "seeds": 2,
+    "slo_frac": 0.95,
+    "points": [
+      {
+        "label": "poisson",
+        "lambda": 0.5,
+        "mean_hold": 4.0,
+        "pareto_shape": 2.5,
+        "horizon": 40.0,
+        "fail_rate": 0.1,
+        "n_ops": [8, 20],
+        "alpha": [0.9, 1.2],
+        "rho": [0.5, 1.5],
+        "burst": {"period": 10.0, "width": 2.0, "multiplier": 4.0}
+      }
+    ]
+  },
+  "results": [
+    {
+      "label": "poisson",
+      "traces": 2,
+      "arrivals": 20,
+      "admitted": 18,
+      "rejected": 2,
+      "departed": 12,
+      "evicted": 1,
+      "failures": 3,
+      "admission_rate": 0.9,
+      "mean_cost_integral": 301920.0,
+      "mean_utilization": 0.42,
+      "mean_final_cost": 15096.0,
+      "peak_procs": 6,
+      "slo_checks": 18,
+      "slo_violations": 0,
+      "log_hash": "9f3cafc4"
+    }
+  ]
+}"#
+        .to_string()
+    }
+
+    #[test]
+    fn serve_schema_accepts_well_formed_documents() {
+        validate_serve_report(&serve_doc()).expect("serve doc validates");
+    }
+
+    #[test]
+    fn serve_schema_rejects_v1_and_broken_documents() {
+        // A campaign (v1) report is not a serve report.
+        let errors = validate_serve_report(&rendered(false)).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("schema_version")));
+        assert!(errors.iter().any(|e| e.contains("kind")));
+        // Admissions must reconcile with arrivals.
+        let broken = serve_doc().replace("\"admitted\": 18", "\"admitted\": 19");
+        let errors = validate_serve_report(&broken).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("admitted + rejected")));
+        // A missing burst key (as opposed to an explicit null) is flagged.
+        let broken = serve_doc().replace(
+            "\"burst\": {\"period\": 10.0, \"width\": 2.0, \"multiplier\": 4.0}\n",
+            "\"unrelated\": 1\n",
+        );
+        let errors = validate_serve_report(&broken).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("burst")), "{errors:?}");
     }
 
     #[test]

@@ -17,7 +17,12 @@
 //! * [`solver`](snsp_solver) — the ILP formulation, an exact
 //!   branch-and-bound, and analytic lower bounds;
 //! * [`engine`](snsp_engine) — a discrete-event steady-state engine that
-//!   executes mappings and measures their achieved throughput.
+//!   executes mappings and measures their achieved throughput;
+//! * [`sweep`](snsp_sweep) — parallel scenario-grid campaigns with
+//!   machine-readable, worker-count-independent JSON reports;
+//! * [`serve`](snsp_serve) — online multi-tenant serving: trace-driven
+//!   admission, incremental placement and eviction over one shared
+//!   elastic platform.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +49,7 @@
 pub use snsp_core as core;
 pub use snsp_engine as engine;
 pub use snsp_gen as gen;
+pub use snsp_serve as serve;
 pub use snsp_solver as solver;
 pub use snsp_sweep as sweep;
 
@@ -56,21 +62,32 @@ pub mod prelude {
         all_heuristics, solve, solve_seeded, CommGreedy, CompGreedy, Heuristic, ObjectAvailability,
         ObjectGrouping, PipelineOptions, Random, Solution, SubtreeBottomUp,
     };
-    pub use snsp_core::ids::{OpId, ProcId, ServerId, TypeId};
+    pub use snsp_core::ids::{OpId, ProcId, ServerId, TenantId, TypeId};
     pub use snsp_core::instance::Instance;
     pub use snsp_core::mapping::{Download, Mapping};
-    pub use snsp_core::multi::{solve_joint, MultiInstance, MultiSolution};
+    pub use snsp_core::multi::{
+        shared_demand, solve_joint, verify_joint, DownloadLedger, MultiInstance, MultiSolution,
+        SharedDemand,
+    };
     pub use snsp_core::object::{ObjectCatalog, ObjectType};
     pub use snsp_core::platform::{Catalog, Platform, ProcessorKind, Server};
     pub use snsp_core::rewrite::{rewrite, RewriteStrategy};
     pub use snsp_core::tree::OperatorTree;
     pub use snsp_core::work::WorkModel;
-    pub use snsp_engine::{simulate, SimConfig};
-    pub use snsp_gen::{paper_instance, ScenarioParams, TreeShape};
+    pub use snsp_engine::{meets_slo, simulate, SimConfig};
+    pub use snsp_gen::{
+        generate_trace, paper_instance, tenant_instance, trace_environment, Burst, ScenarioParams,
+        Trace, TraceEvent, TraceParams, TreeShape,
+    };
+    pub use snsp_serve::{
+        run_serve_campaign, run_trace, LivePlatform, ServeCampaign, ServeConfig, ServePoint,
+        TraceReport,
+    };
     pub use snsp_solver::{
         lower_bound, max_throughput_under_budget, solve_exact, BranchBoundConfig,
     };
     pub use snsp_sweep::{
-        run_campaign, validate_report, Campaign, CampaignReport, PointSpec, ReferenceConfig,
+        run_campaign, validate_report, validate_serve_report, Campaign, CampaignReport, PointSpec,
+        ReferenceConfig,
     };
 }

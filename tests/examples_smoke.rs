@@ -1,4 +1,4 @@
-//! Smoke coverage for the five `examples/` mains: each test replays the
+//! Smoke coverage for the `examples/` mains: each test replays the
 //! example's core library path (trimmed for speed) so an API drift that
 //! breaks an example also breaks `cargo test`. CI additionally executes
 //! `cargo run --example` for each binary.
@@ -237,6 +237,22 @@ fn shared_platform_core_path() {
             prev_rho = res.rho;
         }
     }
+}
+
+/// `examples/online_serving.rs`: deterministic trace replay plus a small
+/// serve campaign with schema-v2 JSON.
+#[test]
+fn online_serving_core_path() {
+    let params = TraceParams::poisson(0.4, 5.0, 20.0).with_failures(0.05);
+    let trace = generate_trace(&params, 42);
+    let report = run_trace(&trace, &ServeConfig::default());
+    assert_eq!(report.admitted + report.rejected, report.arrivals);
+    assert_eq!(report.slo_violations, 0);
+
+    let campaign = ServeCampaign::new("smoke", vec![ServePoint::new("flaky", params)], 2);
+    let campaign_report = run_serve_campaign(&campaign);
+    assert_eq!(campaign_report.points.len(), 1);
+    validate_serve_report(&campaign_report.render_json(true)).expect("schema v2 validates");
 }
 
 /// `examples/campaign.rs`: parallel grid sweep with an exact reference
