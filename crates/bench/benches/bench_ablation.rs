@@ -20,6 +20,7 @@ fn ablation(c: &mut Criterion) {
             PipelineOptions {
                 placement: PlacementOptions {
                     dedup_downloads: false,
+                    ..Default::default()
                 },
                 ..Default::default()
             },

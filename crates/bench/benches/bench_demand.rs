@@ -1,0 +1,53 @@
+//! The demand-engine microbenchmark: feasibility probes on a growing
+//! operator group — the hot path every heuristic, the branch-and-bound
+//! and the online admission layer hammer. Compares the incremental probe
+//! accumulator against the retained `demand_of` recompute oracle
+//! (`PlacementOptions::demand_oracle`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snsp_bench::bench_instance;
+use snsp_core::heuristics::{GroupBuilder, PlacementOptions};
+use snsp_core::ids::OpId;
+use snsp_core::instance::Instance;
+use snsp_gen::ScenarioParams;
+
+/// Grows one group across the whole tree, querying fit after every
+/// extension (the pack-loop shape). Returns the fit count as a sink.
+fn sweep(inst: &Instance, demand_oracle: bool) -> u64 {
+    let opts = PlacementOptions {
+        demand_oracle,
+        ..Default::default()
+    };
+    let mut builder = GroupBuilder::new(inst, opts);
+    let top = inst.platform.catalog.most_expensive();
+    let ops: Vec<OpId> = inst.tree.ops().collect();
+    let g = builder.create_group(vec![ops[0]], top);
+    let mut fits = 0u64;
+    builder.probe_load_group(g);
+    for &op in &ops[1..] {
+        builder.probe_add(op);
+        fits += u64::from(builder.probe_fits(top));
+        builder.add_to_group(g, op);
+    }
+    fits
+}
+
+fn demand(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demand_engine");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &n in &[140usize, 500, 2000] {
+        let inst = bench_instance(&ScenarioParams::paper(n, 0.9), 1);
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| sweep(&inst, false))
+        });
+        group.bench_with_input(BenchmarkId::new("oracle", n), &n, |b, _| {
+            b.iter(|| sweep(&inst, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, demand);
+criterion_main!(benches);

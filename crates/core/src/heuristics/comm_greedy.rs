@@ -42,7 +42,10 @@ impl Heuristic for CommGreedy {
         for &(parent, child, _) in &edges {
             match (builder.group_of(parent), builder.group_of(child)) {
                 (None, None) => {
-                    if let Some(kind) = builder.cheapest_kind_for(&[parent, child]) {
+                    builder.probe_reset();
+                    builder.probe_add(parent);
+                    builder.probe_add(child);
+                    if let Some(kind) = builder.probe_cheapest_kind() {
                         builder.create_group(vec![parent, child], kind);
                     } else {
                         // Most expensive processor for each endpoint; the
@@ -57,9 +60,9 @@ impl Heuristic for CommGreedy {
                 (Some(g), None) => accommodate(&mut builder, g, child)?,
                 (None, Some(g)) => accommodate(&mut builder, g, parent)?,
                 (Some(ga), Some(gc)) if ga != gc => {
-                    let mut union = builder.group_ops(ga).to_vec();
-                    union.extend_from_slice(builder.group_ops(gc));
-                    if let Some(kind) = builder.cheapest_kind_for(&union) {
+                    builder.probe_load_group(ga);
+                    builder.probe_add_group(gc);
+                    if let Some(kind) = builder.probe_cheapest_kind() {
                         builder.merge_groups(ga, gc, kind);
                     }
                     // Otherwise: assignment unchanged (paper case iii).
@@ -78,10 +81,9 @@ impl Heuristic for CommGreedy {
 /// Case (ii): try to put `op` on existing group `g`; otherwise buy the most
 /// expensive processor for it (with the grouping-technique fallback).
 fn accommodate(builder: &mut GroupBuilder<'_>, g: usize, op: OpId) -> Result<(), HeuristicError> {
-    let mut candidate = builder.group_ops(g).to_vec();
-    candidate.push(op);
-    let demand = builder.demand_of(&candidate);
-    if builder.fits(&demand, builder.group_kind(g)) {
+    builder.probe_load_group(g);
+    builder.probe_add(op);
+    if builder.probe_fits(builder.group_kind(g)) {
         builder.add_to_group(g, op);
         Ok(())
     } else {

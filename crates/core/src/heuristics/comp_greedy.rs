@@ -35,18 +35,24 @@ pub(crate) fn by_decreasing_work(inst: &Instance) -> Vec<OpId> {
 
 /// Packs unassigned operators from `order` onto group `g` while they fit
 /// on the group's tentative kind. Returns how many were added.
+///
+/// One probe session covers the whole pass: the group is loaded once,
+/// then each candidate costs O(degree + types-of-op) — accepted
+/// operators stay in the accumulator, rejected ones are undone exactly.
 pub(crate) fn pack_group(builder: &mut GroupBuilder<'_>, g: usize, order: &[OpId]) -> usize {
     let mut added = 0;
+    let kind = builder.group_kind(g);
+    builder.probe_load_group(g);
     for &op in order {
         if !builder.is_unassigned(op) {
             continue;
         }
-        let mut candidate = builder.group_ops(g).to_vec();
-        candidate.push(op);
-        let demand = builder.demand_of(&candidate);
-        if builder.fits(&demand, builder.group_kind(g)) {
+        builder.probe_add(op);
+        if builder.probe_fits(kind) {
             builder.add_to_group(g, op);
             added += 1;
+        } else {
+            builder.probe_undo();
         }
     }
     added

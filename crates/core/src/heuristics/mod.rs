@@ -30,7 +30,7 @@ pub use downgrade::downgrade;
 pub use object_availability::ObjectAvailability;
 pub use object_grouping::ObjectGrouping;
 pub use random::Random;
-pub use server_selection::{select_servers, ServerStrategy};
+pub use server_selection::{select_servers, ServerSelector, ServerStrategy};
 pub use subtree::SubtreeBottomUp;
 
 use crate::constraints;

@@ -48,15 +48,17 @@ impl Heuristic for ObjectAvailability {
                     break;
                 };
                 let g = builder.place_with_grouping(seed, KindPolicy::MostExpensive)?;
+                let kind = builder.group_kind(g);
+                builder.probe_load_group(g);
                 for &op in rest {
                     if !builder.is_unassigned(op) {
                         continue;
                     }
-                    let mut candidate = builder.group_ops(g).to_vec();
-                    candidate.push(op);
-                    let d = builder.demand_of(&candidate);
-                    if builder.fits(&d, builder.group_kind(g)) {
+                    builder.probe_add(op);
+                    if builder.probe_fits(kind) {
                         builder.add_to_group(g, op);
+                    } else {
+                        builder.probe_undo();
                     }
                 }
             }

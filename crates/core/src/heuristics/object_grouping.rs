@@ -68,19 +68,26 @@ impl Heuristic for ObjectGrouping {
                     .iter()
                     .flat_map(|&op| inst.types_needed_by(op))
                     .collect();
-                let next = al_ops.iter().copied().find(|&op| {
-                    builder.is_unassigned(op)
-                        && inst
-                            .types_needed_by(op)
+                let kind = builder.group_kind(g);
+                builder.probe_load_group(g);
+                let mut next = None;
+                for &op in &al_ops {
+                    if !builder.is_unassigned(op)
+                        || !builder
+                            .index()
+                            .op_types(op)
                             .iter()
                             .any(|t| group_types.contains(t))
-                        && {
-                            let mut candidate = builder.group_ops(g).to_vec();
-                            candidate.push(op);
-                            let d = builder.demand_of(&candidate);
-                            builder.fits(&d, builder.group_kind(g))
-                        }
-                });
+                    {
+                        continue;
+                    }
+                    builder.probe_add(op);
+                    if builder.probe_fits(kind) {
+                        next = Some(op);
+                        break;
+                    }
+                    builder.probe_undo();
+                }
                 match next {
                     Some(op) => builder.add_to_group(g, op),
                     None => break,

@@ -29,10 +29,14 @@ impl Heuristic for Random {
     ) -> Result<PlacedOps, HeuristicError> {
         use rand::Rng;
         let mut builder = GroupBuilder::new(inst, *opts);
-        while builder.unassigned_count() > 0 {
-            let pool = builder.unassigned();
+        // The pool mirrors `builder.unassigned()` (ascending id order, so
+        // the RNG draws are unchanged) but is maintained in place instead
+        // of being rebuilt per placement.
+        let mut pool: Vec<crate::ids::OpId> = inst.tree.ops().collect();
+        while !pool.is_empty() {
             let op = pool[rng.gen_range(0..pool.len())];
             builder.place_with_grouping(op, KindPolicy::Cheapest)?;
+            pool.retain(|&o| builder.is_unassigned(o));
         }
         builder.finish()
     }

@@ -14,6 +14,13 @@
 //!
 //! The Random placement heuristic instead picks a random capable holder for
 //! every download.
+//!
+//! [`ServerSelector`] owns every buffer the passes need (the request
+//! list, the per-pass survivor list, the single-type-server table, the
+//! per-type demand counters and the capacity tracker), so repeated
+//! selections over one instance — the branch-and-bound runs one per
+//! candidate leaf — allocate nothing but the returned download list.
+//! [`select_servers`] stays as the one-shot convenience wrapper.
 
 use std::collections::BTreeMap;
 
@@ -35,31 +42,31 @@ pub enum ServerStrategy {
 }
 
 /// Tracks remaining server NIC and per-link capacity during selection.
-struct CapacityTracker<'a> {
-    inst: &'a Instance,
+/// Owned by [`ServerSelector`] and refilled per selection, so the maps
+/// and vectors keep their capacity across runs.
+#[derive(Debug, Default)]
+struct CapacityTracker {
     server_left: Vec<f64>,
+    link_full: Vec<f64>,
     link_left: BTreeMap<(ServerId, ProcId), f64>,
 }
 
-impl<'a> CapacityTracker<'a> {
-    fn new(inst: &'a Instance) -> Self {
-        CapacityTracker {
-            inst,
-            server_left: inst
-                .platform
-                .servers
-                .iter()
-                .map(|s| s.nic_bandwidth)
-                .collect(),
-            link_left: BTreeMap::new(),
-        }
+impl CapacityTracker {
+    fn reset(&mut self, inst: &Instance) {
+        self.server_left.clear();
+        self.server_left
+            .extend(inst.platform.servers.iter().map(|s| s.nic_bandwidth));
+        self.link_full.clear();
+        self.link_full
+            .extend(inst.platform.servers.iter().map(|s| s.link_bandwidth));
+        self.link_left.clear();
     }
 
     fn link_left(&self, s: ServerId, u: ProcId) -> f64 {
         *self
             .link_left
             .get(&(s, u))
-            .unwrap_or(&self.inst.platform.server(s).link_bandwidth)
+            .unwrap_or(&self.link_full[s.index()])
     }
 
     /// Usable headroom for one more download from `s` to `u`.
@@ -86,178 +93,261 @@ struct Request {
     rate: f64,
 }
 
-/// Enumerates every `(processor, object type)` download a placement needs.
-fn requests(inst: &Instance, placed: &PlacedOps) -> Vec<Request> {
-    let mut out = Vec::new();
-    for (g, group) in placed.groups.iter().enumerate() {
-        let mut types: Vec<TypeId> = group
-            .ops
-            .iter()
-            .flat_map(|&op| inst.tree.leaf_types(op).iter().copied())
-            .collect();
-        types.sort_unstable();
-        types.dedup();
-        for ty in types {
-            out.push(Request {
-                proc: ProcId::from(g),
-                ty,
-                rate: inst.object_rate(ty),
-            });
+/// Reusable server-selection pass: all intermediate state lives in the
+/// selector and survives across invocations, so only the returned
+/// download list allocates. Safe to reuse across different instances —
+/// every per-instance table is refilled on each call.
+#[derive(Debug, Default)]
+pub struct ServerSelector {
+    /// `(server, its only type)` per single-type server, refilled per
+    /// selection (allocation-free via the count/last scratch below).
+    single_type_servers: Vec<(ServerId, TypeId)>,
+    single_count: Vec<u32>,
+    single_last: Vec<TypeId>,
+    requests: Vec<Request>,
+    rest: Vec<Request>,
+    types_buf: Vec<TypeId>,
+    holders_buf: Vec<ServerId>,
+    /// `nbP` per object type (pass 3), reused and re-zeroed per run.
+    nb_p: Vec<usize>,
+    tracker: CapacityTracker,
+}
+
+impl ServerSelector {
+    /// Fresh selector; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the chosen strategy, appending one [`Download`] per request
+    /// to `out` (cleared first). The allocation-free entry point.
+    pub fn select_into(
+        &mut self,
+        inst: &Instance,
+        placed: &PlacedOps,
+        strategy: ServerStrategy,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<Download>,
+    ) -> Result<(), HeuristicError> {
+        out.clear();
+        self.tracker.reset(inst);
+        self.fill_requests(inst, placed);
+        self.fill_single_type_servers(inst);
+        match strategy {
+            ServerStrategy::ThreeLoop => self.three_loop(inst, out),
+            ServerStrategy::Random => self.random(inst, rng, out),
         }
     }
-    out
+
+    /// Rebuilds the single-type-server table (pass 2) for this instance
+    /// without allocating: one pass over the object placement counting
+    /// types per server, then a pass over servers picking the singles.
+    fn fill_single_type_servers(&mut self, inst: &Instance) {
+        let n_servers = inst.platform.servers.len();
+        self.single_count.clear();
+        self.single_count.resize(n_servers, 0);
+        self.single_last.clear();
+        self.single_last.resize(n_servers, TypeId(0));
+        for t in 0..inst.platform.placement.n_types() {
+            let ty = TypeId::from(t);
+            for &s in inst.platform.placement.holders(ty) {
+                self.single_count[s.index()] += 1;
+                self.single_last[s.index()] = ty;
+            }
+        }
+        self.single_type_servers.clear();
+        self.single_type_servers.extend(
+            inst.platform
+                .server_ids()
+                .filter(|s| self.single_count[s.index()] == 1)
+                .map(|s| (s, self.single_last[s.index()])),
+        );
+    }
+
+    /// [`select_into`](Self::select_into) with a freshly allocated result.
+    pub fn select(
+        &mut self,
+        inst: &Instance,
+        placed: &PlacedOps,
+        strategy: ServerStrategy,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Download>, HeuristicError> {
+        let mut out = Vec::new();
+        self.select_into(inst, placed, strategy, rng, &mut out)?;
+        Ok(out)
+    }
+
+    /// Enumerates every `(processor, object type)` download the placement
+    /// needs into `self.requests`.
+    fn fill_requests(&mut self, inst: &Instance, placed: &PlacedOps) {
+        self.requests.clear();
+        for (g, group) in placed.groups.iter().enumerate() {
+            self.types_buf.clear();
+            self.types_buf.extend(
+                group
+                    .ops
+                    .iter()
+                    .flat_map(|&op| inst.tree.leaf_types(op).iter().copied()),
+            );
+            self.types_buf.sort_unstable();
+            self.types_buf.dedup();
+            for &ty in &self.types_buf {
+                self.requests.push(Request {
+                    proc: ProcId::from(g),
+                    ty,
+                    rate: inst.object_rate(ty),
+                });
+            }
+        }
+    }
+
+    fn random(
+        &mut self,
+        inst: &Instance,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<Download>,
+    ) -> Result<(), HeuristicError> {
+        use rand::seq::SliceRandom;
+        self.requests.shuffle(rng);
+        for i in 0..self.requests.len() {
+            let req = self.requests[i];
+            self.holders_buf.clear();
+            self.holders_buf.extend(
+                inst.platform
+                    .placement
+                    .holders(req.ty)
+                    .iter()
+                    .copied()
+                    .filter(|&s| self.tracker.can_serve(s, req.proc, req.rate)),
+            );
+            let Some(&server) = self.holders_buf.choose(rng) else {
+                return Err(HeuristicError::ServerSelectionFailed {
+                    proc: req.proc,
+                    ty: req.ty,
+                });
+            };
+            self.tracker.commit(server, req.proc, req.rate);
+            out.push(Download {
+                proc: req.proc,
+                ty: req.ty,
+                server,
+            });
+        }
+        Ok(())
+    }
+
+    fn three_loop(
+        &mut self,
+        inst: &Instance,
+        out: &mut Vec<Download>,
+    ) -> Result<(), HeuristicError> {
+        let tracker = &mut self.tracker;
+        let mut assign = |req: Request, server: ServerId, tracker: &mut CapacityTracker| {
+            tracker.commit(server, req.proc, req.rate);
+            out.push(Download {
+                proc: req.proc,
+                ty: req.ty,
+                server,
+            });
+        };
+
+        // Pass 1: single-holder objects have no choice.
+        self.rest.clear();
+        for i in 0..self.requests.len() {
+            let req = self.requests[i];
+            let holders = inst.platform.placement.holders(req.ty);
+            if holders.len() == 1 {
+                let server = holders[0];
+                if !tracker.can_serve(server, req.proc, req.rate) {
+                    return Err(HeuristicError::ServerSelectionFailed {
+                        proc: req.proc,
+                        ty: req.ty,
+                    });
+                }
+                assign(req, server, tracker);
+            } else {
+                self.rest.push(req);
+            }
+        }
+        std::mem::swap(&mut self.requests, &mut self.rest);
+
+        // Pass 2: single-type servers absorb what they can.
+        self.rest.clear();
+        'req: for i in 0..self.requests.len() {
+            let req = self.requests[i];
+            for &(server, ty) in &self.single_type_servers {
+                if ty == req.ty && tracker.can_serve(server, req.proc, req.rate) {
+                    assign(req, server, tracker);
+                    continue 'req;
+                }
+            }
+            self.rest.push(req);
+        }
+        std::mem::swap(&mut self.requests, &mut self.rest);
+
+        // Pass 3: by decreasing nbP/nbS, pick the holder with the largest
+        // min(remaining server NIC, remaining link bandwidth).
+        self.nb_p.clear();
+        self.nb_p.resize(inst.objects.len(), 0);
+        for req in &self.requests {
+            self.nb_p[req.ty.index()] += 1;
+        }
+        let nb_p = &self.nb_p;
+        let nb_s = |ty: TypeId, tracker: &CapacityTracker| -> usize {
+            inst.platform
+                .placement
+                .holders(ty)
+                .iter()
+                .filter(|&&s| tracker.server_left[s.index()] > 1e-9)
+                .count()
+        };
+        self.requests.sort_by(|a, b| {
+            let ka = nb_p[a.ty.index()] as f64 / nb_s(a.ty, tracker).max(1) as f64;
+            let kb = nb_p[b.ty.index()] as f64 / nb_s(b.ty, tracker).max(1) as f64;
+            kb.partial_cmp(&ka)
+                .unwrap()
+                .then(a.ty.cmp(&b.ty))
+                .then(a.proc.cmp(&b.proc))
+        });
+        for i in 0..self.requests.len() {
+            let req = self.requests[i];
+            let best = inst
+                .platform
+                .placement
+                .holders(req.ty)
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    tracker
+                        .headroom(a, req.proc)
+                        .partial_cmp(&tracker.headroom(b, req.proc))
+                        .unwrap()
+                });
+            match best {
+                Some(server) if tracker.can_serve(server, req.proc, req.rate) => {
+                    assign(req, server, tracker);
+                }
+                _ => {
+                    return Err(HeuristicError::ServerSelectionFailed {
+                        proc: req.proc,
+                        ty: req.ty,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Runs the chosen strategy; returns one [`Download`] per request.
+/// One-shot wrapper over a fresh [`ServerSelector`].
 pub fn select_servers(
     inst: &Instance,
     placed: &PlacedOps,
     strategy: ServerStrategy,
     rng: &mut dyn RngCore,
 ) -> Result<Vec<Download>, HeuristicError> {
-    match strategy {
-        ServerStrategy::ThreeLoop => three_loop(inst, placed),
-        ServerStrategy::Random => random(inst, placed, rng),
-    }
-}
-
-fn random(
-    inst: &Instance,
-    placed: &PlacedOps,
-    rng: &mut dyn RngCore,
-) -> Result<Vec<Download>, HeuristicError> {
-    use rand::seq::SliceRandom;
-    let mut tracker = CapacityTracker::new(inst);
-    let mut pending = requests(inst, placed);
-    pending.shuffle(rng);
-    let mut downloads = Vec::with_capacity(pending.len());
-    for req in pending {
-        let holders: Vec<ServerId> = inst
-            .platform
-            .placement
-            .holders(req.ty)
-            .iter()
-            .copied()
-            .filter(|&s| tracker.can_serve(s, req.proc, req.rate))
-            .collect();
-        let Some(&server) = holders.choose(rng) else {
-            return Err(HeuristicError::ServerSelectionFailed {
-                proc: req.proc,
-                ty: req.ty,
-            });
-        };
-        tracker.commit(server, req.proc, req.rate);
-        downloads.push(Download {
-            proc: req.proc,
-            ty: req.ty,
-            server,
-        });
-    }
-    Ok(downloads)
-}
-
-fn three_loop(inst: &Instance, placed: &PlacedOps) -> Result<Vec<Download>, HeuristicError> {
-    let mut tracker = CapacityTracker::new(inst);
-    let mut pending = requests(inst, placed);
-    let mut downloads = Vec::with_capacity(pending.len());
-
-    let mut assign = |req: Request, server: ServerId, tracker: &mut CapacityTracker<'_>| {
-        tracker.commit(server, req.proc, req.rate);
-        downloads.push(Download {
-            proc: req.proc,
-            ty: req.ty,
-            server,
-        });
-    };
-
-    // Pass 1: single-holder objects have no choice.
-    let mut rest = Vec::with_capacity(pending.len());
-    for req in pending {
-        let holders = inst.platform.placement.holders(req.ty);
-        if holders.len() == 1 {
-            let server = holders[0];
-            if !tracker.can_serve(server, req.proc, req.rate) {
-                return Err(HeuristicError::ServerSelectionFailed {
-                    proc: req.proc,
-                    ty: req.ty,
-                });
-            }
-            assign(req, server, &mut tracker);
-        } else {
-            rest.push(req);
-        }
-    }
-    pending = rest;
-
-    // Pass 2: single-type servers absorb what they can.
-    let single_type_servers: Vec<(ServerId, TypeId)> = inst
-        .platform
-        .server_ids()
-        .filter_map(|s| {
-            let types = inst.platform.placement.types_on(s);
-            (types.len() == 1).then(|| (s, types[0]))
-        })
-        .collect();
-    let mut rest = Vec::with_capacity(pending.len());
-    'req: for req in pending {
-        for &(server, ty) in &single_type_servers {
-            if ty == req.ty && tracker.can_serve(server, req.proc, req.rate) {
-                assign(req, server, &mut tracker);
-                continue 'req;
-            }
-        }
-        rest.push(req);
-    }
-    pending = rest;
-
-    // Pass 3: by decreasing nbP/nbS, pick the holder with the largest
-    // min(remaining server NIC, remaining link bandwidth).
-    let mut nb_p: BTreeMap<TypeId, usize> = BTreeMap::new();
-    for req in &pending {
-        *nb_p.entry(req.ty).or_insert(0) += 1;
-    }
-    let nb_s = |ty: TypeId, tracker: &CapacityTracker<'_>| -> usize {
-        inst.platform
-            .placement
-            .holders(ty)
-            .iter()
-            .filter(|&&s| tracker.server_left[s.index()] > 1e-9)
-            .count()
-    };
-    pending.sort_by(|a, b| {
-        let ka = nb_p[&a.ty] as f64 / nb_s(a.ty, &tracker).max(1) as f64;
-        let kb = nb_p[&b.ty] as f64 / nb_s(b.ty, &tracker).max(1) as f64;
-        kb.partial_cmp(&ka)
-            .unwrap()
-            .then(a.ty.cmp(&b.ty))
-            .then(a.proc.cmp(&b.proc))
-    });
-    for req in pending {
-        let best = inst
-            .platform
-            .placement
-            .holders(req.ty)
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                tracker
-                    .headroom(a, req.proc)
-                    .partial_cmp(&tracker.headroom(b, req.proc))
-                    .unwrap()
-            });
-        match best {
-            Some(server) if tracker.can_serve(server, req.proc, req.rate) => {
-                assign(req, server, &mut tracker);
-            }
-            _ => {
-                return Err(HeuristicError::ServerSelectionFailed {
-                    proc: req.proc,
-                    ty: req.ty,
-                })
-            }
-        }
-    }
-    Ok(downloads)
+    ServerSelector::new().select(inst, placed, strategy, rng)
 }
 
 #[cfg(test)]
@@ -275,6 +365,19 @@ mod tests {
         let kind = inst.platform.catalog.most_expensive();
         b.create_group(ops, kind);
         b.finish().unwrap()
+    }
+
+    fn three_loop(inst: &Instance, placed: &PlacedOps) -> Result<Vec<Download>, HeuristicError> {
+        let mut rng = StdRng::seed_from_u64(0);
+        select_servers(inst, placed, ServerStrategy::ThreeLoop, &mut rng)
+    }
+
+    fn random(
+        inst: &Instance,
+        placed: &PlacedOps,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<Download>, HeuristicError> {
+        select_servers(inst, placed, ServerStrategy::Random, rng)
     }
 
     #[test]
@@ -309,6 +412,28 @@ mod tests {
             if holders.len() == 1 {
                 assert_eq!(d.server, holders[0]);
             }
+        }
+    }
+
+    #[test]
+    fn reused_selector_matches_one_shot_selection() {
+        // The B&B usage pattern: one selector, many placements.
+        let inst = paper_like_instance(20, 0.9, 31);
+        let mut selector = ServerSelector::new();
+        let mut out = Vec::new();
+        for round in 0..3 {
+            let placed = one_group_placement(&inst);
+            let mut rng = StdRng::seed_from_u64(round);
+            selector
+                .select_into(
+                    &inst,
+                    &placed,
+                    ServerStrategy::ThreeLoop,
+                    &mut rng,
+                    &mut out,
+                )
+                .unwrap();
+            assert_eq!(out, three_loop(&inst, &placed).unwrap(), "round {round}");
         }
     }
 

@@ -71,15 +71,41 @@ impl Heuristic for SubtreeBottomUp {
             }
 
             // 1. Full consolidation: op + every child group on one machine.
-            let mut union = vec![op];
-            if let Some(g) = own {
-                union = builder.group_ops(g).to_vec();
+            // Fast path: when the probe session already holds one of the
+            // child groups (the previously consolidated subtree), extend
+            // it in place instead of reloading the whole union — the
+            // bottom-up walk then costs O(smaller-side) per merge rather
+            // than O(union).
+            let cached = (own.is_none())
+                .then(|| {
+                    targets
+                        .iter()
+                        .position(|&(g, _)| builder.probe_session_is(g))
+                })
+                .flatten();
+            match cached {
+                Some(pos) => {
+                    builder.probe_add(op);
+                    for (i, &(g, _)) in targets.iter().enumerate() {
+                        if i != pos {
+                            builder.probe_add_group(g);
+                        }
+                    }
+                }
+                None => {
+                    match own {
+                        Some(g) => builder.probe_load_group(g),
+                        None => {
+                            builder.probe_reset();
+                            builder.probe_add(op);
+                        }
+                    }
+                    for &(g, _) in &targets {
+                        builder.probe_add_group(g);
+                    }
+                }
             }
-            for &(g, _) in &targets {
-                union.extend_from_slice(builder.group_ops(g));
-            }
-            let demand = builder.demand_of(&union);
-            if builder.fits(&demand, top) {
+            if builder.probe_fits(top) {
                 let keep = match own {
                     Some(g) => g,
                     None => targets[0].0,
@@ -92,27 +118,30 @@ impl Heuristic for SubtreeBottomUp {
                 if own.is_none() {
                     builder.add_to_group(keep, op);
                 }
+                // The session now equals the consolidated group: keep it
+                // hot for the parent's step.
+                builder.probe_adopt_group(keep);
                 continue;
             }
 
-            // 2./3. Merge with one child group, heaviest edge first.
+            // 2./3. Merge with one child group, heaviest edge first. Each
+            // iteration begins a fresh probe session (a merge invalidates
+            // the previous one).
             let mut placed = own.is_some();
             for &(g, _) in &targets {
                 if placed {
                     // Operator already owns a processor: try absorbing one
                     // child group at a time.
                     let g_op = builder.group_of(op).unwrap();
-                    let mut candidate = builder.group_ops(g_op).to_vec();
-                    candidate.extend_from_slice(builder.group_ops(g));
-                    let demand = builder.demand_of(&candidate);
-                    if builder.fits(&demand, top) {
+                    builder.probe_load_group(g_op);
+                    builder.probe_add_group(g);
+                    if builder.probe_fits(top) {
                         builder.merge_groups(g_op, g, top);
                     }
                 } else {
-                    let mut candidate = builder.group_ops(g).to_vec();
-                    candidate.push(op);
-                    let demand = builder.demand_of(&candidate);
-                    if builder.fits(&demand, builder.group_kind(g)) {
+                    builder.probe_load_group(g);
+                    builder.probe_add(op);
+                    if builder.probe_fits(builder.group_kind(g)) {
                         builder.add_to_group(g, op);
                         placed = true;
                         break;

@@ -57,6 +57,7 @@
 pub mod constraints;
 pub mod heuristics;
 pub mod ids;
+pub mod index;
 pub mod instance;
 pub mod mapping;
 pub mod multi;
@@ -69,6 +70,7 @@ pub mod work;
 
 pub use constraints::{check, is_feasible, loads, max_throughput, LoadReport, Violation};
 pub use ids::{OpId, ProcId, ServerId, TypeId};
+pub use index::InstanceIndex;
 pub use instance::Instance;
 pub use mapping::{Download, Mapping};
 pub use object::{ObjectCatalog, ObjectType};

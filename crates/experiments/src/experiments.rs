@@ -96,6 +96,18 @@ pub fn grid(id: &str, seeds: u64) -> Option<Campaign> {
             max_ops: 12,
             node_budget: 200_000,
         }),
+        // Production-scale trees, practical only since the incremental
+        // demand engine: a full six-heuristic sweep at N = 2000 runs in
+        // CI smoke time.
+        "large-n" => Campaign::new(
+            id,
+            points_of(
+                [250usize, 500, 1000, 2000]
+                    .into_iter()
+                    .map(|n| (n.to_string(), ScenarioParams::paper(n, 0.9))),
+            ),
+            seeds,
+        ),
         _ => return None,
     };
     Some(campaign)
@@ -103,7 +115,7 @@ pub fn grid(id: &str, seeds: u64) -> Option<Campaign> {
 
 /// Every grid id accepted by [`grid`].
 pub const GRID_IDS: &[&str] = &[
-    "fig2a", "fig2b", "fig3", "fig3n20", "large", "lowfreq", "ci",
+    "fig2a", "fig2b", "fig3", "fig3n20", "large", "lowfreq", "ci", "large-n",
 ];
 
 /// The named trace grids behind the `serve` CLI subcommand and the CI

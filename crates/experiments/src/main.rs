@@ -21,19 +21,29 @@
 //!   writes BENCH_serve.json (schema v2, byte-identical at any worker
 //!   count in --stable-json form).
 //!
+//! snsp-experiments perf --grid <ci|large-n> [--seeds K] [--json PATH]
+//!                       [--out DIR]
+//!   Times the incremental demand engine against its retained reference
+//!   oracles (heuristic pipelines, branch-and-bound, raw demand probes)
+//!   and writes BENCH_perf.json (schema v3, byte-stable layout).
+//!
 //! snsp-experiments validate <PATH>
-//!   Schema-checks a BENCH_sweep.json (v1) or BENCH_serve.json (v2,
-//!   sniffed via its "kind" discriminator); exits non-zero on violations.
+//!   Schema-checks a BENCH_sweep.json (v1), BENCH_serve.json (v2) or
+//!   BENCH_perf.json (v3) — the latter two sniffed via their "kind"
+//!   discriminator; exits non-zero on violations.
 //! ```
 
 mod experiments;
+mod perf;
 mod table;
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use snsp_serve::run_serve_campaign;
-use snsp_sweep::{run_campaign, validate_report, validate_serve_report, ReferenceConfig};
+use snsp_sweep::{
+    run_campaign, validate_perf_report, validate_report, validate_serve_report, ReferenceConfig,
+};
 use table::Table;
 
 struct Args {
@@ -109,6 +119,7 @@ fn usage() -> String {
      [--json PATH] [--stable-json] [--out DIR]\n\
      \u{20}      snsp-experiments serve --grid <ID> [--seeds K] [--workers W] \
      [--json PATH] [--stable-json] [--out DIR]\n\
+     \u{20}      snsp-experiments perf --grid <ci|large-n> [--seeds K] [--json PATH] [--out DIR]\n\
      \u{20}      snsp-experiments validate <PATH>"
         .to_string()
 }
@@ -239,20 +250,17 @@ fn run_serve(args: &Args) -> Result<(), String> {
 fn run_validate(path: &PathBuf) -> Result<(), String> {
     let body = std::fs::read_to_string(path)
         .map_err(|e| format!("could not read {}: {e}", path.display()))?;
-    // Sniff the document kind: serve reports carry `"kind": "serve"`.
-    let serve = snsp_sweep::json::parse(&body)
-        .ok()
-        .and_then(|doc| {
-            doc.get("kind")
-                .and_then(snsp_sweep::Json::as_str)
-                .map(str::to_string)
-        })
-        .as_deref()
-        == Some("serve");
-    let (label, outcome) = if serve {
-        ("BENCH_serve.json (schema v2)", validate_serve_report(&body))
-    } else {
-        ("BENCH_sweep.json (schema v1)", validate_report(&body))
+    // Sniff the document kind: serve reports carry `"kind": "serve"`,
+    // perf reports `"kind": "perf"`; campaign reports (v1) have no kind.
+    let kind = snsp_sweep::json::parse(&body).ok().and_then(|doc| {
+        doc.get("kind")
+            .and_then(snsp_sweep::Json::as_str)
+            .map(str::to_string)
+    });
+    let (label, outcome) = match kind.as_deref() {
+        Some("serve") => ("BENCH_serve.json (schema v2)", validate_serve_report(&body)),
+        Some("perf") => ("BENCH_perf.json (schema v3)", validate_perf_report(&body)),
+        _ => ("BENCH_sweep.json (schema v1)", validate_report(&body)),
     };
     match outcome {
         Ok(()) => {
@@ -266,6 +274,43 @@ fn run_validate(path: &PathBuf) -> Result<(), String> {
             Err(format!("{} schema violation(s)", errors.len()))
         }
     }
+}
+
+fn run_perf(args: &Args) -> Result<(), String> {
+    let grid_id = args
+        .grid
+        .as_deref()
+        .ok_or_else(|| format!("perf needs --grid <id>\n{}", usage()))?;
+    let campaign = perf::perf_grid(grid_id, args.seeds).ok_or_else(|| {
+        format!(
+            "unknown perf grid {grid_id}; available: {}",
+            perf::PERF_GRID_IDS.join(" ")
+        )
+    })?;
+
+    let started = Instant::now();
+    let report = perf::run_perf(&campaign);
+    let tables = report.tables();
+    write_tables(&format!("perf_{grid_id}"), &tables, &args.out_dir);
+
+    let json_path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| args.out_dir.join("BENCH_perf.json"));
+    let body = report.render_json();
+    validate_perf_report(&body)
+        .map_err(|errors| format!("generated perf report failed validation: {errors:?}"))?;
+    if let Some(dir) = json_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&json_path, &body)
+        .map_err(|e| format!("could not write {}: {e}", json_path.display()))?;
+    println!("[json] {}", json_path.display());
+    println!(
+        "[perf {grid_id}] measured in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+    Ok(())
 }
 
 fn main() {
@@ -293,6 +338,13 @@ fn main() {
     }
     if args.experiment == "serve" {
         if let Err(e) = run_serve(&args) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.experiment == "perf" {
+        if let Err(e) = run_perf(&args) {
             eprintln!("{e}");
             std::process::exit(2);
         }

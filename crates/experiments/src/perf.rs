@@ -1,0 +1,603 @@
+//! The `perf` subcommand: proves the incremental demand engine's speedup
+//! with data, not folklore.
+//!
+//! Three measurements per run, each against a retained reference oracle
+//! so both engines execute in the same binary on the same inputs and the
+//! semantic equality of their outputs is asserted on the spot:
+//!
+//! 1. **Heuristic pipelines** — every paper heuristic end-to-end
+//!    (placement + server selection + downgrade + verification), with
+//!    the incremental probe engine vs
+//!    `PlacementOptions::demand_oracle` (the original
+//!    recompute-per-query demand path);
+//! 2. **Branch-and-bound** — `solve_exact` (incremental demands,
+//!    cut-edge-augmented bounds) vs `solve_exact_reference`, reporting
+//!    nodes, nodes/sec, the node-count ratio and the wall-clock speedup
+//!    to the same optimum;
+//! 3. **Demand probe** — the raw hot-path microbenchmark: a pack-style
+//!    feasibility sweep growing one group across a large tree, probe
+//!    API vs oracle recompute.
+//!
+//! The output is the schema-v3 `BENCH_perf.json` (see
+//! `snsp_sweep::validate_perf_report`): byte-stable layout, measured
+//! values. Wall-clock numbers vary between machines; the structural and
+//! equality invariants do not.
+
+use std::time::Instant;
+
+use snsp_core::heuristics::{
+    all_heuristics, solve_seeded, GroupBuilder, PipelineOptions, PlacementOptions,
+};
+use snsp_core::ids::OpId;
+use snsp_core::platform::Catalog;
+use snsp_gen::{generate, ScenarioParams, SizeRange, TreeShape};
+use snsp_solver::{solve_exact, solve_exact_reference, BranchBoundConfig};
+use snsp_sweep::Json;
+
+use crate::table::Table;
+
+/// One heuristic-timing grid point.
+pub struct PerfPoint {
+    /// Row label.
+    pub label: String,
+    /// Scenario parameters.
+    pub params: ScenarioParams,
+}
+
+/// One branch-and-bound timing point.
+pub struct BbPoint {
+    /// Row label.
+    pub label: String,
+    /// Operator count.
+    pub n_ops: usize,
+    /// Computation factor α.
+    pub alpha: f64,
+    /// Restrict the catalog to CONSTR-HOM (entry CPU, 1 Gbps NIC).
+    pub homogeneous: bool,
+    /// Node budget for both engines.
+    pub node_budget: u64,
+}
+
+/// A perf campaign: the heuristic grid, the B&B grid and the probe size.
+pub struct PerfCampaign {
+    /// Campaign identifier (the `--grid` id).
+    pub id: &'static str,
+    /// Seeds per grid cell.
+    pub seeds: u64,
+    /// Heuristic pipeline points.
+    pub points: Vec<PerfPoint>,
+    /// Branch-and-bound points.
+    pub bb_points: Vec<BbPoint>,
+    /// Tree size of the demand-probe microbenchmark.
+    pub probe_n_ops: usize,
+}
+
+/// The named perf grids behind `snsp-experiments perf --grid <id>`.
+/// `ci` is cheap enough for every push; `large-n` covers the N ≤ 2000
+/// range the incremental engine unlocked.
+pub fn perf_grid(id: &str, seeds: u64) -> Option<PerfCampaign> {
+    let paper = |n: usize, alpha: f64| PerfPoint {
+        label: format!("N={n}"),
+        params: ScenarioParams::paper(n, alpha),
+    };
+    let campaign = match id {
+        "ci" => PerfCampaign {
+            id: "ci",
+            seeds,
+            points: vec![
+                PerfPoint {
+                    label: "N=25 large".into(),
+                    params: ScenarioParams::paper(25, 0.9).with_sizes(SizeRange::LARGE),
+                },
+                paper(60, 0.9),
+                paper(140, 0.9),
+                paper(500, 0.9),
+            ],
+            bb_points: vec![
+                BbPoint {
+                    label: "het N=12 α=1.3".into(),
+                    n_ops: 12,
+                    alpha: 1.3,
+                    homogeneous: false,
+                    node_budget: 200_000,
+                },
+                // CONSTR-HOM at N = 20: the multi-processor seeds turn the
+                // partition search combinatorial — the regime where the
+                // cut-edge bounds pay off (run with ≥ 3 seeds to include
+                // one).
+                BbPoint {
+                    label: "hom N=20 α=0.9".into(),
+                    n_ops: 20,
+                    alpha: 0.9,
+                    homogeneous: true,
+                    node_budget: 500_000,
+                },
+                BbPoint {
+                    label: "hom N=20 α=1.3".into(),
+                    n_ops: 20,
+                    alpha: 1.3,
+                    homogeneous: true,
+                    node_budget: 500_000,
+                },
+            ],
+            probe_n_ops: 500,
+        },
+        "large-n" => PerfCampaign {
+            id: "large-n",
+            seeds,
+            points: vec![paper(500, 0.9), paper(1000, 0.9), paper(2000, 0.9)],
+            bb_points: vec![
+                BbPoint {
+                    label: "hom N=20 α=1.3".into(),
+                    n_ops: 20,
+                    alpha: 1.3,
+                    homogeneous: true,
+                    node_budget: 2_000_000,
+                },
+                BbPoint {
+                    label: "hom N=20 α=0.9".into(),
+                    n_ops: 20,
+                    alpha: 0.9,
+                    homogeneous: true,
+                    node_budget: 2_000_000,
+                },
+            ],
+            probe_n_ops: 2000,
+        },
+        _ => return None,
+    };
+    Some(campaign)
+}
+
+/// Every grid id accepted by [`perf_grid`].
+pub const PERF_GRID_IDS: &[&str] = &["ci", "large-n"];
+
+struct HeurRow {
+    name: &'static str,
+    runs: u64,
+    feasible: u64,
+    incremental_ms: f64,
+    oracle_ms: f64,
+    costs_match: bool,
+}
+
+struct BbRow {
+    label: String,
+    inc_nodes: u64,
+    inc_ms: f64,
+    ref_nodes: u64,
+    ref_ms: f64,
+    costs_match: bool,
+}
+
+struct ProbeResult {
+    probes: u64,
+    incremental_ms: f64,
+    oracle_ms: f64,
+    accepted_match: bool,
+}
+
+/// The measured outcome of one perf campaign.
+pub struct PerfReport {
+    campaign: &'static str,
+    seeds: u64,
+    points: Vec<PerfPoint>,
+    bb_points: Vec<BbPoint>,
+    probe_n_ops: usize,
+    heuristics: Vec<Vec<HeurRow>>,
+    bb: Vec<BbRow>,
+    probe: ProbeResult,
+}
+
+fn speedup(oracle_ms: f64, incremental_ms: f64) -> f64 {
+    // Guard against sub-timer-resolution denominators; a speedup must be
+    // positive for the schema.
+    (oracle_ms.max(1e-6)) / (incremental_ms.max(1e-6))
+}
+
+/// Runs every measurement of the campaign. Wall-clock totals are summed
+/// across seeds so the comparison is stable even when single runs sit
+/// near timer resolution.
+pub fn run_perf(campaign: &PerfCampaign) -> PerfReport {
+    let incremental = PipelineOptions::default();
+    let oracle = PipelineOptions {
+        placement: PlacementOptions {
+            demand_oracle: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let mut heuristics = Vec::new();
+    for point in &campaign.points {
+        let mut rows = Vec::new();
+        for h in all_heuristics() {
+            let mut row = HeurRow {
+                name: h.name(),
+                runs: campaign.seeds,
+                feasible: 0,
+                incremental_ms: 0.0,
+                oracle_ms: 0.0,
+                costs_match: true,
+            };
+            for seed in 0..campaign.seeds {
+                let inst = generate(&point.params, TreeShape::Random, seed);
+                let t0 = Instant::now();
+                let fast = solve_seeded(h.as_ref(), &inst, seed, &incremental);
+                row.incremental_ms += t0.elapsed().as_secs_f64() * 1e3;
+                let t0 = Instant::now();
+                let slow = solve_seeded(h.as_ref(), &inst, seed, &oracle);
+                row.oracle_ms += t0.elapsed().as_secs_f64() * 1e3;
+                let (fast_cost, slow_cost) = (fast.map(|s| s.cost).ok(), slow.map(|s| s.cost).ok());
+                row.costs_match &= fast_cost == slow_cost;
+                row.feasible += u64::from(fast_cost.is_some());
+            }
+            rows.push(row);
+        }
+        heuristics.push(rows);
+    }
+
+    let mut bb = Vec::new();
+    for point in &campaign.bb_points {
+        let mut row = BbRow {
+            label: point.label.clone(),
+            inc_nodes: 0,
+            inc_ms: 0.0,
+            ref_nodes: 0,
+            ref_ms: 0.0,
+            costs_match: true,
+        };
+        let config = BranchBoundConfig {
+            node_budget: point.node_budget,
+            upper_bound: None,
+        };
+        for seed in 0..campaign.seeds {
+            let mut inst = generate(
+                &ScenarioParams::paper(point.n_ops, point.alpha),
+                TreeShape::Random,
+                seed,
+            );
+            if point.homogeneous {
+                inst.platform.catalog = Catalog::homogeneous(0, 0);
+            }
+            let t0 = Instant::now();
+            let fast = solve_exact(&inst, &config);
+            row.inc_ms += t0.elapsed().as_secs_f64() * 1e3;
+            row.inc_nodes += fast.nodes;
+            let t0 = Instant::now();
+            let slow = solve_exact_reference(&inst, &config);
+            row.ref_ms += t0.elapsed().as_secs_f64() * 1e3;
+            row.ref_nodes += slow.nodes;
+            // Equal optima whenever both searches completed; a truncated
+            // search may legitimately return a different incumbent.
+            if fast.optimal && slow.optimal {
+                row.costs_match &= fast.cost == slow.cost;
+            }
+        }
+        bb.push(row);
+    }
+
+    let probe = run_probe(campaign.probe_n_ops);
+
+    PerfReport {
+        campaign: campaign.id,
+        seeds: campaign.seeds,
+        points: campaign.points.iter().map(clone_point).collect(),
+        bb_points: campaign.bb_points.iter().map(clone_bb_point).collect(),
+        probe_n_ops: campaign.probe_n_ops,
+        heuristics,
+        bb,
+        probe,
+    }
+}
+
+fn clone_point(p: &PerfPoint) -> PerfPoint {
+    PerfPoint {
+        label: p.label.clone(),
+        params: p.params,
+    }
+}
+
+fn clone_bb_point(p: &BbPoint) -> BbPoint {
+    BbPoint {
+        label: p.label.clone(),
+        n_ops: p.n_ops,
+        alpha: p.alpha,
+        homogeneous: p.homogeneous,
+        node_budget: p.node_budget,
+    }
+}
+
+/// The raw hot-path microbenchmark: grow one group across the whole
+/// size-`n` tree, querying feasibility after every extension — the exact
+/// shape of the heuristics' pack loops on consolidating instances. The
+/// oracle recomputes each query from scratch (O(set size), the original
+/// behaviour); the probe engine updates in O(degree).
+fn run_probe(n: usize) -> ProbeResult {
+    let inst = generate(&ScenarioParams::paper(n, 0.9), TreeShape::Random, 1);
+    let sweep = |demand_oracle: bool| -> (f64, u64) {
+        let opts = PlacementOptions {
+            demand_oracle,
+            ..Default::default()
+        };
+        let mut builder = GroupBuilder::new(&inst, opts);
+        let top = inst.platform.catalog.most_expensive();
+        let ops: Vec<OpId> = inst.tree.ops().collect();
+        let g = builder.create_group(vec![ops[0]], top);
+        let mut fits_seen = 0u64;
+        let t0 = Instant::now();
+        builder.probe_load_group(g);
+        for &op in &ops[1..] {
+            builder.probe_add(op);
+            fits_seen += u64::from(builder.probe_fits(top));
+            builder.add_to_group(g, op);
+        }
+        (t0.elapsed().as_secs_f64() * 1e3, fits_seen)
+    };
+    let (incremental_ms, fast_fits) = sweep(false);
+    let (oracle_ms, slow_fits) = sweep(true);
+    ProbeResult {
+        probes: (n - 1) as u64,
+        incremental_ms,
+        oracle_ms,
+        accepted_match: fast_fits == slow_fits,
+    }
+}
+
+impl PerfReport {
+    /// Serializes schema v3 (layout is fixed; values are measurements).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Int(snsp_sweep::PERF_SCHEMA_VERSION)),
+            (
+                "generator",
+                Json::Str(format!("snsp-experiments {}", env!("CARGO_PKG_VERSION"))),
+            ),
+            ("kind", Json::Str("perf".into())),
+            ("campaign", Json::Str(format!("perf-{}", self.campaign))),
+            (
+                "config",
+                Json::obj(vec![
+                    ("seeds", Json::Int(self.seeds as i64)),
+                    (
+                        "points",
+                        Json::Arr(
+                            self.points
+                                .iter()
+                                .map(|p| {
+                                    Json::obj(vec![
+                                        ("label", Json::Str(p.label.clone())),
+                                        ("n_ops", Json::Int(p.params.n_ops as i64)),
+                                        ("alpha", Json::Num(p.params.alpha)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "bb_points",
+                        Json::Arr(
+                            self.bb_points
+                                .iter()
+                                .map(|p| {
+                                    Json::obj(vec![
+                                        ("label", Json::Str(p.label.clone())),
+                                        ("n_ops", Json::Int(p.n_ops as i64)),
+                                        ("alpha", Json::Num(p.alpha)),
+                                        ("homogeneous", Json::Bool(p.homogeneous)),
+                                        ("node_budget", Json::Int(p.node_budget as i64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("probe_n_ops", Json::Int(self.probe_n_ops as i64)),
+                ]),
+            ),
+            (
+                "results",
+                Json::obj(vec![
+                    (
+                        "heuristics",
+                        Json::Arr(
+                            self.points
+                                .iter()
+                                .zip(&self.heuristics)
+                                .map(|(p, rows)| {
+                                    Json::obj(vec![
+                                        ("label", Json::Str(p.label.clone())),
+                                        (
+                                            "rows",
+                                            Json::Arr(rows.iter().map(heur_row_json).collect()),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("bb", Json::Arr(self.bb.iter().map(bb_row_json).collect())),
+                    (
+                        "demand_probe",
+                        Json::obj(vec![
+                            ("probes", Json::Int(self.probe.probes as i64)),
+                            ("incremental_ms", Json::Num(self.probe.incremental_ms)),
+                            ("oracle_ms", Json::Num(self.probe.oracle_ms)),
+                            (
+                                "speedup",
+                                Json::Num(speedup(self.probe.oracle_ms, self.probe.incremental_ms)),
+                            ),
+                            ("accepted_match", Json::Bool(self.probe.accepted_match)),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// [`to_json`](Self::to_json) rendered to pretty-printed text.
+    pub fn render_json(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Human-readable tables mirroring the JSON.
+    pub fn tables(&self) -> Vec<Table> {
+        let mut heur = Table::new(
+            format!(
+                "perf-{} — heuristic pipeline, incremental vs demand oracle ({} seeds)",
+                self.campaign, self.seeds
+            ),
+            &[
+                "point",
+                "heuristic",
+                "feasible",
+                "incr ms",
+                "oracle ms",
+                "speedup",
+            ],
+        );
+        for (p, rows) in self.points.iter().zip(&self.heuristics) {
+            for r in rows {
+                heur.push(vec![
+                    p.label.clone(),
+                    r.name.to_string(),
+                    format!("{}/{}", r.feasible, r.runs),
+                    format!("{:.2}", r.incremental_ms / self.seeds as f64),
+                    format!("{:.2}", r.oracle_ms / self.seeds as f64),
+                    format!("{:.1}x", speedup(r.oracle_ms, r.incremental_ms)),
+                ]);
+            }
+        }
+        let mut bb = Table::new(
+            format!(
+                "perf-{} — branch-and-bound, incremental vs reference ({} seeds)",
+                self.campaign, self.seeds
+            ),
+            &[
+                "point",
+                "incr nodes",
+                "incr ms",
+                "ref nodes",
+                "ref ms",
+                "node ratio",
+                "wall speedup",
+            ],
+        );
+        for r in &self.bb {
+            bb.push(vec![
+                r.label.clone(),
+                r.inc_nodes.to_string(),
+                format!("{:.2}", r.inc_ms),
+                r.ref_nodes.to_string(),
+                format!("{:.2}", r.ref_ms),
+                format!(
+                    "{:.1}x",
+                    r.ref_nodes.max(1) as f64 / r.inc_nodes.max(1) as f64
+                ),
+                format!("{:.1}x", speedup(r.ref_ms, r.inc_ms)),
+            ]);
+        }
+        let mut probe = Table::new(
+            format!(
+                "perf-{} — demand probe microbench (N = {})",
+                self.campaign, self.probe_n_ops
+            ),
+            &["probes", "incr ms", "oracle ms", "speedup"],
+        );
+        probe.push(vec![
+            self.probe.probes.to_string(),
+            format!("{:.3}", self.probe.incremental_ms),
+            format!("{:.3}", self.probe.oracle_ms),
+            format!(
+                "{:.1}x",
+                speedup(self.probe.oracle_ms, self.probe.incremental_ms)
+            ),
+        ]);
+        vec![heur, bb, probe]
+    }
+}
+
+fn heur_row_json(r: &HeurRow) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(r.name.to_string())),
+        ("runs", Json::Int(r.runs as i64)),
+        ("feasible", Json::Int(r.feasible as i64)),
+        ("incremental_ms", Json::Num(r.incremental_ms)),
+        ("oracle_ms", Json::Num(r.oracle_ms)),
+        ("speedup", Json::Num(speedup(r.oracle_ms, r.incremental_ms))),
+        ("costs_match", Json::Bool(r.costs_match)),
+    ])
+}
+
+fn bb_row_json(r: &BbRow) -> Json {
+    let nps = |nodes: u64, ms: f64| nodes as f64 / (ms.max(1e-6) / 1e3);
+    Json::obj(vec![
+        ("label", Json::Str(r.label.clone())),
+        (
+            "incremental",
+            Json::obj(vec![
+                ("nodes", Json::Int(r.inc_nodes as i64)),
+                ("ms", Json::Num(r.inc_ms)),
+                ("nodes_per_sec", Json::Num(nps(r.inc_nodes, r.inc_ms))),
+            ]),
+        ),
+        (
+            "reference",
+            Json::obj(vec![
+                ("nodes", Json::Int(r.ref_nodes as i64)),
+                ("ms", Json::Num(r.ref_ms)),
+                ("nodes_per_sec", Json::Num(nps(r.ref_nodes, r.ref_ms))),
+            ]),
+        ),
+        ("wall_speedup", Json::Num(speedup(r.ref_ms, r.inc_ms))),
+        (
+            "node_ratio",
+            Json::Num(r.ref_nodes.max(1) as f64 / r.inc_nodes.max(1) as f64),
+        ),
+        ("costs_match", Json::Bool(r.costs_match)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snsp_sweep::validate_perf_report;
+
+    #[test]
+    fn every_perf_grid_id_builds_a_campaign() {
+        for id in PERF_GRID_IDS {
+            let campaign = perf_grid(id, 2).unwrap_or_else(|| panic!("{id} should build"));
+            assert_eq!(campaign.id, *id);
+            assert!(!campaign.points.is_empty());
+            assert!(!campaign.bb_points.is_empty());
+        }
+        assert!(perf_grid("nope", 2).is_none());
+    }
+
+    #[test]
+    fn perf_report_round_trips_through_schema_v3() {
+        // A trimmed ci-style campaign, cheap enough for a unit test.
+        let campaign = PerfCampaign {
+            id: "ci",
+            seeds: 1,
+            points: vec![PerfPoint {
+                label: "N=20".into(),
+                params: ScenarioParams::paper(20, 0.9),
+            }],
+            bb_points: vec![BbPoint {
+                label: "het N=8".into(),
+                n_ops: 8,
+                alpha: 1.3,
+                homogeneous: false,
+                node_budget: 100_000,
+            }],
+            probe_n_ops: 60,
+        };
+        let report = run_perf(&campaign);
+        let body = report.render_json();
+        validate_perf_report(&body).expect("generated perf report validates");
+        // Both engines agreed everywhere on this grid.
+        assert!(report.heuristics[0].iter().all(|r| r.costs_match));
+        assert!(report.bb.iter().all(|r| r.costs_match));
+        assert!(report.probe.accepted_match);
+    }
+}

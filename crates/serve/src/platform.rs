@@ -96,11 +96,6 @@ pub struct FailOutcome {
     pub evicted: Vec<TenantId>,
 }
 
-/// A block being test-fitted onto a slot: the candidate application, the
-/// operators that would land there, and the co-location oracle for the
-/// candidate's ops (`true` ⇒ "ends up on this slot").
-type ExtraBlock<'a> = (&'a Instance, &'a [OpId], &'a dyn Fn(OpId) -> bool);
-
 /// The mutable state of one online serving run.
 #[derive(Debug, Clone)]
 pub struct LivePlatform {
@@ -210,26 +205,79 @@ impl LivePlatform {
         out
     }
 
-    /// Joint demand of everything resident on slot `u`, plus an optional
-    /// extra block `(instance, ops, effective-slot-of)` being test-fitted.
-    fn slot_demand(&self, u: usize, extra: Option<ExtraBlock<'_>>) -> SharedDemand {
+    /// Object types the residents of slot `u` stream, sorted ascending.
+    fn slot_types(&self, u: usize) -> Vec<TypeId> {
+        let mut types: Vec<TypeId> = Vec::new();
+        for (tid, ops) in self.blocks_on(u) {
+            let t = &self.tenants[&tid];
+            for &op in &ops {
+                types.extend(t.inst.tree.leaf_types(op).iter().copied());
+            }
+        }
+        types.sort_unstable();
+        types.dedup();
+        types
+    }
+
+    /// Extends a precomputed resident base demand by one candidate block
+    /// without re-walking the residents. Bit-identical to
+    /// [`slot_demand`](Self::slot_demand) with the block as `extra`: work
+    /// and communication continue the base's running sums in member
+    /// order, and downloads re-sum the ascending type union exactly as
+    /// the one-shot pass would.
+    fn extend_demand(
+        &self,
+        base: &SharedDemand,
+        base_types: &[TypeId],
+        inst: &Instance,
+        ops: &[OpId],
+        on_slot: impl Fn(OpId) -> bool,
+    ) -> SharedDemand {
+        let mut d = SharedDemand {
+            work: base.work,
+            download: 0.0,
+            comm: base.comm,
+            max_edge: base.max_edge,
+        };
+        let mut types: Vec<TypeId> = Vec::new();
+        for &op in ops {
+            d.work += inst.rho * inst.tree.work(op);
+            types.extend(inst.tree.leaf_types(op));
+            for &c in inst.tree.children(op) {
+                if !on_slot(c) {
+                    let rate = inst.edge_rate(c);
+                    d.comm += rate;
+                    d.max_edge = d.max_edge.max(rate);
+                }
+            }
+            if let Some(p) = inst.tree.parent(op) {
+                if !on_slot(p) {
+                    let rate = inst.edge_rate(op);
+                    d.comm += rate;
+                    d.max_edge = d.max_edge.max(rate);
+                }
+            }
+        }
+        types.extend_from_slice(base_types);
+        types.sort_unstable();
+        types.dedup();
+        d.download = types.iter().map(|&ty| self.objects.rate(ty)).sum();
+        d
+    }
+
+    /// Joint demand of everything resident on slot `u`. Test-fitting a
+    /// candidate block on top of this goes through
+    /// [`extend_demand`](Self::extend_demand) with the base computed
+    /// here once per admission.
+    fn slot_demand(&self, u: usize) -> SharedDemand {
         let resident = self.blocks_on(u);
         let mut members: Vec<(&Instance, &[OpId])> = Vec::new();
         for (tid, ops) in &resident {
             members.push((&self.tenants[tid].inst, ops.as_slice()));
         }
-        if let Some((inst, ops, _)) = extra {
-            members.push((inst, ops));
-        }
-        let n_resident = resident.len();
         shared_demand(&members, |m, op| {
-            if m < n_resident {
-                let t = &self.tenants[&resident[m].0];
-                t.assignment[op.index()].index() == u
-            } else {
-                let (_, _, on_slot) = extra.as_ref().unwrap();
-                on_slot(op)
-            }
+            let t = &self.tenants[&resident[m].0];
+            t.assignment[op.index()].index() == u
         })
     }
 
@@ -298,6 +346,18 @@ impl LivePlatform {
         let mut reused: BTreeSet<usize> = BTreeSet::new();
         let mut bought: Vec<usize> = Vec::new();
 
+        // Residents never change during one admission, so each live
+        // slot's joint base demand and type set are computed once here
+        // instead of being re-derived from every tenant on every
+        // group × slot fit test; the per-test cost drops to
+        // O(candidate block + slot types).
+        let empty_base = (SharedDemand::default(), Vec::new());
+        let slot_bases: BTreeMap<usize, (SharedDemand, Vec<TypeId>)> = self
+            .live_slots()
+            .into_iter()
+            .map(|u| (u, (self.slot_demand(u), self.slot_types(u))))
+            .collect();
+
         for group in &placed.groups {
             let in_group: BTreeSet<usize> = group.ops.iter().map(|op| op.index()).collect();
             let mut chosen = None;
@@ -317,7 +377,10 @@ impl LivePlatform {
                         .ops()
                         .filter(|&op| assignment[op.index()].index() == u),
                 );
-                let d = self.slot_demand(u, Some((&inst, &block, &on_slot)));
+                // Slots bought earlier in this admission host only this
+                // tenant's ops (all inside `block`): their base is empty.
+                let (base, base_types) = slot_bases.get(&u).unwrap_or(&empty_base);
+                let d = self.extend_demand(base, base_types, &inst, &block, on_slot);
                 if let Some(kind) = self.kind_fitting(&d) {
                     chosen = Some((u, kind, false));
                     break;
@@ -543,7 +606,7 @@ impl LivePlatform {
             .live_slots()
             .into_iter()
             .map(|u| {
-                let d = self.slot_demand(u, None);
+                let d = self.slot_demand(u);
                 ((d.work * 1e6) as u64, u)
             })
             .collect();
@@ -683,7 +746,7 @@ impl LivePlatform {
     /// it also undoes now-oversized upgrades after departures).
     fn downgrade_all(&mut self) {
         for u in self.live_slots() {
-            let d = self.slot_demand(u, None);
+            let d = self.slot_demand(u);
             if let Some(kind) = self.kind_fitting(&d) {
                 self.slots[u] = Some(kind);
             }

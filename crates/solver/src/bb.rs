@@ -9,20 +9,32 @@
 //! cheapest fitting catalog kind (provably optimal per grouping), running
 //! the three-pass server selection, and checking all constraints.
 //!
-//! Pruning uses per-group demand lower bounds (work and download rates
-//! only grow as operators join a group; cut edges may shrink, so they are
-//! excluded from the bound), making the search fast whenever consolidated
-//! solutions exist. A node budget keeps worst cases bounded; the result
-//! reports whether the search completed (`optimal = true`) or was
-//! truncated.
+//! The search maintains every group demand **incrementally** on branch
+//! and backtrack: per-group work, de-duplicated download rates (type
+//! counters with O(1) undo — an operator has at most two leaves) and the
+//! bandwidth of *permanently cut* child edges. Post-order assignment
+//! makes a cross-group child edge permanent the moment its parent is
+//! placed, so that bandwidth is a monotone lower bound and joins the
+//! work/download terms in each group's admissible cost bound — strictly
+//! tighter than bounding on downloads alone. The partial lower bound is a
+//! running sum (no per-node rescan), leaf costing reads the maintained
+//! bandwidths (no per-leaf tree walk), and a persistent
+//! [`ServerSelector`] keeps the three-pass selection allocation-free
+//! across candidate leaves.
+//!
+//! A node budget keeps worst cases bounded; the result reports whether
+//! the search completed (`optimal = true`) or was truncated. The original
+//! recompute-per-node implementation is kept verbatim as
+//! [`solve_exact_reference`]: equivalence tests pin the incremental
+//! search to it, and the perf harness measures the speedup between them.
 
 use snsp_core::constraints;
 use snsp_core::heuristics::{
-    select_servers, HeuristicError, PlacedGroup, PlacedOps, ServerStrategy,
+    select_servers, HeuristicError, PlacedGroup, PlacedOps, ServerSelector, ServerStrategy,
 };
 use snsp_core::ids::{OpId, TypeId};
 use snsp_core::instance::Instance;
-use snsp_core::mapping::Mapping;
+use snsp_core::mapping::{Download, Mapping};
 
 /// Configuration for the exact search.
 #[derive(Debug, Clone, Copy)]
@@ -57,24 +69,58 @@ pub struct ExactResult {
     pub nodes: u64,
 }
 
-struct GroupState {
+/// One group under construction, with incrementally maintained demand.
+struct GroupSlot {
     ops: Vec<OpId>,
     work: f64,
-    types: Vec<TypeId>, // sorted, dedup
+    /// De-duplicated download rate of the types present in the group.
     dl_rate: f64,
-    /// Lower-bound cost of this group's processor.
+    /// Bandwidth of permanently cut child edges incident to this group
+    /// (an edge is decided the moment the parent endpoint is placed).
+    cut_bw: f64,
+    /// Admissible cost bound from (work, dl_rate + cut_bw).
     lb_cost: u64,
+    /// Catalog index realizing `lb_cost`. Demands only grow within a
+    /// push, so a bound refresh first re-checks this kind in O(1) and
+    /// otherwise scans forward from it — never from the catalog start.
+    lb_kind: usize,
+    /// Per-type membership count, for O(1) download de-duplication undo.
+    type_count: Vec<u32>,
+}
+
+/// Everything one `push_op` changed, for exact backtracking. An operator
+/// has at most two children, so at most two foreign groups are touched.
+struct PushSave {
+    work: f64,
+    dl_rate: f64,
+    cut_bw: f64,
+    lb_cost: u64,
+    lb_kind: usize,
+    /// `(group, previous cut_bw, previous lb_cost, previous lb_kind)`
+    /// per touched group.
+    foreign: [(usize, f64, u64, usize); 2],
+    n_foreign: u8,
 }
 
 struct Search<'a> {
     inst: &'a Instance,
     order: Vec<OpId>,
-    groups: Vec<GroupState>,
+    /// Operator → group index (`usize::MAX` = unassigned).
+    assign: Vec<usize>,
+    /// Group arena; slots `0..n_groups` are live, higher slots are kept
+    /// zeroed for reuse so push/pop never reallocates.
+    groups: Vec<GroupSlot>,
+    n_groups: usize,
+    /// Running `Σ lb_cost` over live groups.
+    lb_sum: u64,
     best_cost: u64,
     best: Option<Mapping>,
     nodes: u64,
     budget: u64,
     truncated: bool,
+    selector: ServerSelector,
+    kinds_buf: Vec<usize>,
+    downloads_buf: Vec<Download>,
 }
 
 impl<'a> Search<'a> {
@@ -82,65 +128,127 @@ impl<'a> Search<'a> {
         Search {
             inst,
             order: inst.tree.postorder(),
+            assign: vec![usize::MAX; inst.tree.len()],
             groups: Vec::new(),
+            n_groups: 0,
+            lb_sum: 0,
             best_cost: config.upper_bound.unwrap_or(u64::MAX),
             best: None,
             nodes: 0,
             budget: config.node_budget,
             truncated: false,
+            selector: ServerSelector::new(),
+            kinds_buf: Vec::new(),
+            downloads_buf: Vec::new(),
         }
     }
 
-    /// Lower-bound cost of a group from its monotone demands (work and
-    /// downloads only — cut edges can still disappear).
-    fn group_lb(&self, work: f64, dl_rate: f64) -> Option<u64> {
-        self.inst
-            .platform
-            .catalog
-            .cheapest_fitting(self.inst.rho * work, dl_rate)
-            .map(|k| self.inst.platform.catalog.kind(k).cost)
-    }
-
-    fn partial_lb(&self) -> u64 {
-        self.groups.iter().map(|g| g.lb_cost).sum()
-    }
-
-    fn push_op(&mut self, g: usize, op: OpId) -> Option<(f64, Vec<TypeId>, f64, u64)> {
-        let group = &mut self.groups[g];
-        let saved = (
-            group.work,
-            group.types.clone(),
-            group.dl_rate,
-            group.lb_cost,
-        );
-        group.ops.push(op);
-        group.work += self.inst.tree.work(op);
-        for &ty in self.inst.tree.leaf_types(op) {
-            if !group.types.contains(&ty) {
-                group.types.push(ty);
-                group.dl_rate += self.inst.object_rate(ty);
-            }
-        }
-        let (work, dl_rate) = (group.work, group.dl_rate);
-        match self.group_lb(work, dl_rate) {
-            Some(lb) => {
+    /// Recomputes and installs group `g`'s bound; `false` ⇒ dead end.
+    /// Demands never shrink inside a push, so the previous `lb_kind` is
+    /// re-tested first (the overwhelmingly common no-change case) and a
+    /// miss scans forward from it only.
+    fn refresh_lb(&mut self, g: usize) -> bool {
+        let grp = &self.groups[g];
+        let need_speed = self.inst.rho * grp.work;
+        let need_bw = grp.dl_rate + grp.cut_bw;
+        let kinds = self.inst.platform.catalog.kinds();
+        let mut k = grp.lb_kind;
+        while k < kinds.len() {
+            if kinds[k].speed >= need_speed && kinds[k].bandwidth >= need_bw {
+                let lb = kinds[k].cost;
+                self.lb_sum = self.lb_sum + lb - self.groups[g].lb_cost;
                 self.groups[g].lb_cost = lb;
-                Some(saved)
+                self.groups[g].lb_kind = k;
+                return true;
             }
-            None => {
-                // Not even the top kind fits: undo and signal a dead end.
-                let group = &mut self.groups[g];
-                group.ops.pop();
-                (group.work, group.types, group.dl_rate, group.lb_cost) = saved;
-                None
-            }
+            k += 1;
         }
+        false
     }
 
-    fn pop_op(&mut self, g: usize, saved: (f64, Vec<TypeId>, f64, u64)) {
-        let group = &mut self.groups[g];
-        group.ops.pop();
-        (group.work, group.types, group.dl_rate, group.lb_cost) = saved;
+    /// Adds `op` to live group `g`, updating demands, permanent cut
+    /// edges and bounds. `None` ⇒ some group can no longer fit any kind
+    /// (the branch is dead); the state is already rolled back.
+    fn push_op(&mut self, g: usize, op: OpId) -> Option<PushSave> {
+        let grp = &self.groups[g];
+        let mut save = PushSave {
+            work: grp.work,
+            dl_rate: grp.dl_rate,
+            cut_bw: grp.cut_bw,
+            lb_cost: grp.lb_cost,
+            lb_kind: grp.lb_kind,
+            foreign: [(0, 0.0, 0, 0); 2],
+            n_foreign: 0,
+        };
+        let grp = &mut self.groups[g];
+        grp.ops.push(op);
+        grp.work += self.inst.tree.work(op);
+        for &ty in self.inst.tree.leaf_types(op) {
+            let count = &mut grp.type_count[ty.index()];
+            if *count == 0 {
+                grp.dl_rate += self.inst.object_rate(ty);
+            }
+            *count += 1;
+        }
+        // Post-order: op's children are placed, so each cross-group
+        // child edge is cut for good — charge both endpoint groups.
+        for i in 0..self.inst.tree.children(op).len() {
+            let c = self.inst.tree.children(op)[i];
+            let h = self.assign[c.index()];
+            debug_assert!(h != usize::MAX, "post-order places children first");
+            if h != g {
+                let rate = self.inst.edge_rate(c);
+                self.groups[g].cut_bw += rate;
+                save.foreign[save.n_foreign as usize] = (
+                    h,
+                    self.groups[h].cut_bw,
+                    self.groups[h].lb_cost,
+                    self.groups[h].lb_kind,
+                );
+                save.n_foreign += 1;
+                self.groups[h].cut_bw += rate;
+            }
+        }
+        self.assign[op.index()] = g;
+        let mut alive = true;
+        for i in 0..save.n_foreign as usize {
+            if !self.refresh_lb(save.foreign[i].0) {
+                alive = false;
+                break;
+            }
+        }
+        if alive && !self.refresh_lb(g) {
+            alive = false;
+        }
+        if !alive {
+            self.pop_op(g, &save);
+            return None;
+        }
+        Some(save)
+    }
+
+    /// Exactly reverts the matching [`push_op`](Self::push_op): scalars
+    /// from snapshots, counters by inverse integer updates.
+    fn pop_op(&mut self, g: usize, save: &PushSave) {
+        let op = self.groups[g].ops.pop().expect("pop without push");
+        self.assign[op.index()] = usize::MAX;
+        for &ty in self.inst.tree.leaf_types(op) {
+            self.groups[g].type_count[ty.index()] -= 1;
+        }
+        for i in (0..save.n_foreign as usize).rev() {
+            let (h, prev_cut, prev_lb, prev_kind) = save.foreign[i];
+            self.lb_sum = self.lb_sum + prev_lb - self.groups[h].lb_cost;
+            self.groups[h].lb_cost = prev_lb;
+            self.groups[h].lb_kind = prev_kind;
+            self.groups[h].cut_bw = prev_cut;
+        }
+        self.lb_sum = self.lb_sum + save.lb_cost - self.groups[g].lb_cost;
+        let grp = &mut self.groups[g];
+        grp.work = save.work;
+        grp.dl_rate = save.dl_rate;
+        grp.cut_bw = save.cut_bw;
+        grp.lb_cost = save.lb_cost;
+        grp.lb_kind = save.lb_kind;
     }
 
     fn dfs(&mut self, depth: usize) {
@@ -159,85 +267,57 @@ impl<'a> Search<'a> {
         let op = self.order[depth];
 
         // Try joining each existing group.
-        for g in 0..self.groups.len() {
-            if let Some(saved) = self.push_op(g, op) {
-                if self.partial_lb() < self.best_cost {
+        for g in 0..self.n_groups {
+            if let Some(save) = self.push_op(g, op) {
+                if self.lb_sum < self.best_cost {
                     self.dfs(depth + 1);
                 }
-                self.pop_op(g, saved);
+                self.pop_op(g, &save);
             }
         }
 
         // Open a fresh group (restricted growth: always the next index).
-        let work = self.inst.tree.work(op);
-        let mut types: Vec<TypeId> = self.inst.tree.leaf_types(op).to_vec();
-        types.sort_unstable();
-        types.dedup();
-        let dl_rate: f64 = types.iter().map(|&t| self.inst.object_rate(t)).sum();
-        if let Some(lb_cost) = self.group_lb(work, dl_rate) {
-            self.groups.push(GroupState {
-                ops: vec![op],
-                work,
-                types,
-                dl_rate,
-                lb_cost,
+        if self.n_groups == self.groups.len() {
+            self.groups.push(GroupSlot {
+                ops: Vec::new(),
+                work: 0.0,
+                dl_rate: 0.0,
+                cut_bw: 0.0,
+                lb_cost: 0,
+                lb_kind: 0,
+                type_count: vec![0; self.inst.objects.len()],
             });
-            if self.partial_lb() < self.best_cost {
+        }
+        self.n_groups += 1;
+        let g = self.n_groups - 1;
+        if let Some(save) = self.push_op(g, op) {
+            if self.lb_sum < self.best_cost {
                 self.dfs(depth + 1);
             }
-            self.groups.pop();
+            self.pop_op(g, &save);
         }
+        self.n_groups -= 1;
     }
 
-    /// Costs a complete partition: exact demands, cheapest kinds, server
-    /// selection, full constraint check.
+    /// Costs a complete partition from the maintained demands. At a leaf
+    /// every edge is decided, so each group's maintained bound *is* its
+    /// exact cheapest cost: the partition costs `lb_sum` and the kinds
+    /// are the cached `lb_kind`s — O(groups), no catalog scan, no tree
+    /// walk. Only server selection and the constraint check remain.
     fn evaluate_leaf(&mut self) {
-        // Assignment for edge evaluation.
-        let mut assign = vec![usize::MAX; self.inst.tree.len()];
-        for (g, group) in self.groups.iter().enumerate() {
-            for &op in &group.ops {
-                assign[op.index()] = g;
-            }
-        }
-
-        // Exact per-group bandwidth: downloads + final cut edges.
-        let mut bandwidth: Vec<f64> = self.groups.iter().map(|g| g.dl_rate).collect();
-        for op in self.inst.tree.ops() {
-            if let Some(p) = self.inst.tree.parent(op) {
-                let (u, v) = (assign[op.index()], assign[p.index()]);
-                if u != v {
-                    let rate = self.inst.edge_rate(op);
-                    bandwidth[u] += rate;
-                    bandwidth[v] += rate;
-                }
-            }
-        }
-
-        let mut kinds = Vec::with_capacity(self.groups.len());
-        let mut cost = 0u64;
-        for (g, group) in self.groups.iter().enumerate() {
-            let Some(k) = self
-                .inst
-                .platform
-                .catalog
-                .cheapest_fitting(self.inst.rho * group.work, bandwidth[g])
-            else {
-                return; // no kind fits this group's exact demand
-            };
-            kinds.push(k);
-            cost += self.inst.platform.catalog.kind(k).cost;
-        }
+        let cost = self.lb_sum;
         if cost >= self.best_cost {
             return;
         }
+        self.kinds_buf.clear();
+        self.kinds_buf
+            .extend((0..self.n_groups).map(|g| self.groups[g].lb_kind));
 
         let placed = PlacedOps::from_groups(
-            self.groups
-                .iter()
-                .zip(&kinds)
-                .map(|(g, &kind)| PlacedGroup {
-                    ops: g.ops.clone(),
-                    kind,
+            (0..self.n_groups)
+                .map(|g| PlacedGroup {
+                    ops: self.groups[g].ops.clone(),
+                    kind: self.kinds_buf[g],
                 })
                 .collect(),
             self.inst.tree.len(),
@@ -245,11 +325,20 @@ impl<'a> Search<'a> {
         // Server selection is itself heuristic (three-pass); see DESIGN.md
         // for the optimality caveat this implies.
         let mut rng = NullRng;
-        let Ok(downloads) = select_servers(self.inst, &placed, ServerStrategy::ThreeLoop, &mut rng)
-        else {
+        if self
+            .selector
+            .select_into(
+                self.inst,
+                &placed,
+                ServerStrategy::ThreeLoop,
+                &mut rng,
+                &mut self.downloads_buf,
+            )
+            .is_err()
+        {
             return;
-        };
-        let mapping = placed.into_mapping(downloads);
+        }
+        let mapping = placed.into_mapping(self.downloads_buf.clone());
         if constraints::is_feasible(self.inst, &mapping) {
             self.best_cost = cost;
             self.best = Some(mapping);
@@ -277,7 +366,7 @@ impl rand::RngCore for NullRng {
     }
 }
 
-/// Runs the exact search.
+/// Runs the exact search (incremental demand maintenance).
 pub fn solve_exact(inst: &Instance, config: &BranchBoundConfig) -> ExactResult {
     let mut search = Search::new(inst, config);
     search.dfs(0);
@@ -308,6 +397,228 @@ pub fn optimal_cost(inst: &Instance, config: &BranchBoundConfig) -> Result<u64, 
         None => Err(HeuristicError::NoFeasibleProcessor {
             op: inst.tree.root(),
         }),
+    }
+}
+
+/// The original recompute-per-node search, kept as the slow reference
+/// oracle for the incremental implementation (equivalence tests, perf
+/// baseline). Same branching order; only the bookkeeping differs —
+/// its bounds use work and downloads alone, so it explores at least as
+/// many nodes as [`solve_exact`].
+pub fn solve_exact_reference(inst: &Instance, config: &BranchBoundConfig) -> ExactResult {
+    let mut search = reference::Search::new(inst, config);
+    search.dfs(0);
+    ExactResult {
+        cost: search.best_cost,
+        optimal: !search.truncated,
+        nodes: search.nodes,
+        mapping: search.best,
+    }
+}
+
+/// The pre-incremental implementation, verbatim.
+mod reference {
+    use super::*;
+
+    struct GroupState {
+        ops: Vec<OpId>,
+        work: f64,
+        types: Vec<TypeId>, // sorted, dedup
+        dl_rate: f64,
+        /// Lower-bound cost of this group's processor.
+        lb_cost: u64,
+    }
+
+    pub(super) struct Search<'a> {
+        inst: &'a Instance,
+        order: Vec<OpId>,
+        groups: Vec<GroupState>,
+        pub(super) best_cost: u64,
+        pub(super) best: Option<Mapping>,
+        pub(super) nodes: u64,
+        budget: u64,
+        pub(super) truncated: bool,
+    }
+
+    impl<'a> Search<'a> {
+        pub(super) fn new(inst: &'a Instance, config: &BranchBoundConfig) -> Self {
+            Search {
+                inst,
+                order: inst.tree.postorder(),
+                groups: Vec::new(),
+                best_cost: config.upper_bound.unwrap_or(u64::MAX),
+                best: None,
+                nodes: 0,
+                budget: config.node_budget,
+                truncated: false,
+            }
+        }
+
+        /// Lower-bound cost of a group from its monotone demands (work and
+        /// downloads only — cut edges can still disappear).
+        fn group_lb(&self, work: f64, dl_rate: f64) -> Option<u64> {
+            self.inst
+                .platform
+                .catalog
+                .cheapest_fitting(self.inst.rho * work, dl_rate)
+                .map(|k| self.inst.platform.catalog.kind(k).cost)
+        }
+
+        fn partial_lb(&self) -> u64 {
+            self.groups.iter().map(|g| g.lb_cost).sum()
+        }
+
+        fn push_op(&mut self, g: usize, op: OpId) -> Option<(f64, Vec<TypeId>, f64, u64)> {
+            let group = &mut self.groups[g];
+            let saved = (
+                group.work,
+                group.types.clone(),
+                group.dl_rate,
+                group.lb_cost,
+            );
+            group.ops.push(op);
+            group.work += self.inst.tree.work(op);
+            for &ty in self.inst.tree.leaf_types(op) {
+                if !group.types.contains(&ty) {
+                    group.types.push(ty);
+                    group.dl_rate += self.inst.object_rate(ty);
+                }
+            }
+            let (work, dl_rate) = (group.work, group.dl_rate);
+            match self.group_lb(work, dl_rate) {
+                Some(lb) => {
+                    self.groups[g].lb_cost = lb;
+                    Some(saved)
+                }
+                None => {
+                    // Not even the top kind fits: undo and signal a dead end.
+                    let group = &mut self.groups[g];
+                    group.ops.pop();
+                    (group.work, group.types, group.dl_rate, group.lb_cost) = saved;
+                    None
+                }
+            }
+        }
+
+        fn pop_op(&mut self, g: usize, saved: (f64, Vec<TypeId>, f64, u64)) {
+            let group = &mut self.groups[g];
+            group.ops.pop();
+            (group.work, group.types, group.dl_rate, group.lb_cost) = saved;
+        }
+
+        pub(super) fn dfs(&mut self, depth: usize) {
+            if self.truncated {
+                return;
+            }
+            self.nodes += 1;
+            if self.nodes > self.budget {
+                self.truncated = true;
+                return;
+            }
+            if depth == self.order.len() {
+                self.evaluate_leaf();
+                return;
+            }
+            let op = self.order[depth];
+
+            // Try joining each existing group.
+            for g in 0..self.groups.len() {
+                if let Some(saved) = self.push_op(g, op) {
+                    if self.partial_lb() < self.best_cost {
+                        self.dfs(depth + 1);
+                    }
+                    self.pop_op(g, saved);
+                }
+            }
+
+            // Open a fresh group (restricted growth: always the next index).
+            let work = self.inst.tree.work(op);
+            let mut types: Vec<TypeId> = self.inst.tree.leaf_types(op).to_vec();
+            types.sort_unstable();
+            types.dedup();
+            let dl_rate: f64 = types.iter().map(|&t| self.inst.object_rate(t)).sum();
+            if let Some(lb_cost) = self.group_lb(work, dl_rate) {
+                self.groups.push(GroupState {
+                    ops: vec![op],
+                    work,
+                    types,
+                    dl_rate,
+                    lb_cost,
+                });
+                if self.partial_lb() < self.best_cost {
+                    self.dfs(depth + 1);
+                }
+                self.groups.pop();
+            }
+        }
+
+        /// Costs a complete partition: exact demands, cheapest kinds, server
+        /// selection, full constraint check.
+        fn evaluate_leaf(&mut self) {
+            // Assignment for edge evaluation.
+            let mut assign = vec![usize::MAX; self.inst.tree.len()];
+            for (g, group) in self.groups.iter().enumerate() {
+                for &op in &group.ops {
+                    assign[op.index()] = g;
+                }
+            }
+
+            // Exact per-group bandwidth: downloads + final cut edges.
+            let mut bandwidth: Vec<f64> = self.groups.iter().map(|g| g.dl_rate).collect();
+            for op in self.inst.tree.ops() {
+                if let Some(p) = self.inst.tree.parent(op) {
+                    let (u, v) = (assign[op.index()], assign[p.index()]);
+                    if u != v {
+                        let rate = self.inst.edge_rate(op);
+                        bandwidth[u] += rate;
+                        bandwidth[v] += rate;
+                    }
+                }
+            }
+
+            let mut kinds = Vec::with_capacity(self.groups.len());
+            let mut cost = 0u64;
+            for (g, group) in self.groups.iter().enumerate() {
+                let Some(k) = self
+                    .inst
+                    .platform
+                    .catalog
+                    .cheapest_fitting(self.inst.rho * group.work, bandwidth[g])
+                else {
+                    return; // no kind fits this group's exact demand
+                };
+                kinds.push(k);
+                cost += self.inst.platform.catalog.kind(k).cost;
+            }
+            if cost >= self.best_cost {
+                return;
+            }
+
+            let placed = PlacedOps::from_groups(
+                self.groups
+                    .iter()
+                    .zip(&kinds)
+                    .map(|(g, &kind)| PlacedGroup {
+                        ops: g.ops.clone(),
+                        kind,
+                    })
+                    .collect(),
+                self.inst.tree.len(),
+            );
+            // Server selection is itself heuristic (three-pass); see
+            // DESIGN.md for the optimality caveat this implies.
+            let mut rng = NullRng;
+            let Ok(downloads) =
+                select_servers(self.inst, &placed, ServerStrategy::ThreeLoop, &mut rng)
+            else {
+                return;
+            };
+            let mapping = placed.into_mapping(downloads);
+            if constraints::is_feasible(self.inst, &mapping) {
+                self.best_cost = cost;
+                self.best = Some(mapping);
+            }
+        }
     }
 }
 
@@ -403,6 +714,25 @@ mod tests {
             // With one kind, cost = count × kind cost.
             let kind_cost = inst.platform.catalog.kind(0).cost;
             assert_eq!(res.cost, m.proc_count() as u64 * kind_cost);
+        }
+    }
+
+    #[test]
+    fn incremental_search_matches_reference_and_prunes_harder() {
+        for seed in 0..4u64 {
+            for &(n, alpha) in &[(7usize, 0.9), (9, 1.2), (11, 1.5)] {
+                let inst = paper_instance(n, alpha, seed);
+                let fast = solve_exact(&inst, &BranchBoundConfig::default());
+                let slow = solve_exact_reference(&inst, &BranchBoundConfig::default());
+                assert!(fast.optimal && slow.optimal);
+                assert_eq!(fast.cost, slow.cost, "N={n} α={alpha} seed={seed}");
+                assert!(
+                    fast.nodes <= slow.nodes,
+                    "cut-edge bounds must not explore more: {} > {} (N={n} seed={seed})",
+                    fast.nodes,
+                    slow.nodes
+                );
+            }
         }
     }
 }

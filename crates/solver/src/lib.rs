@@ -27,7 +27,10 @@ pub mod bounds;
 pub mod ilp;
 pub mod inverse;
 
-pub use bb::{optimal_cost, solve_exact, solve_exhaustive, BranchBoundConfig, ExactResult};
+pub use bb::{
+    optimal_cost, solve_exact, solve_exact_reference, solve_exhaustive, BranchBoundConfig,
+    ExactResult,
+};
 pub use bounds::{lower_bound, min_processors, LowerBound};
 pub use ilp::{formulate, Ilp, IlpOptions};
 pub use inverse::{max_throughput_under_budget, BudgetResult};

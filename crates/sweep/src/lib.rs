@@ -48,7 +48,10 @@ pub mod sink;
 pub use campaign::{run_campaign, Campaign, PointSpec, ReferenceConfig, PIPELINE_SEED_STRIDE};
 pub use json::Json;
 pub use pool::run_jobs;
-pub use schema::{validate_report, validate_serve_report, SERVE_SCHEMA_VERSION};
+pub use schema::{
+    validate_perf_report, validate_report, validate_serve_report, PERF_SCHEMA_VERSION,
+    SERVE_SCHEMA_VERSION,
+};
 pub use sink::{
     CampaignReport, HeurStats, PhaseTiming, PointReport, ReferenceStats, SCHEMA_VERSION,
 };

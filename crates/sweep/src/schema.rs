@@ -7,13 +7,19 @@
 //! Campaign reports are **schema v1** ([`validate_report`]); online
 //! serving reports are **schema v2** ([`validate_serve_report`]), which
 //! adds the `kind: "serve"` discriminator, the trace-grid config echo and
-//! the service-metric result rows.
+//! the service-metric result rows; perf reports are **schema v3**
+//! ([`validate_perf_report`], `kind: "perf"`), recording the incremental
+//! demand engine's measured speedups over the retained reference oracles
+//! (heuristic pipelines, the branch-and-bound, and the raw demand probe).
 
 use crate::json::{parse, Json};
 use crate::sink::SCHEMA_VERSION;
 
 /// The schema version stamped into (and required of) every serve report.
 pub const SERVE_SCHEMA_VERSION: i64 = 2;
+
+/// The schema version stamped into (and required of) every perf report.
+pub const PERF_SCHEMA_VERSION: i64 = 3;
 
 /// Validates a serialized campaign report against schema v1.
 ///
@@ -363,6 +369,257 @@ pub fn validate_serve_report(text: &str) -> Result<(), Vec<String>> {
     }
 }
 
+/// Validates a serialized perf report against schema v3 (the
+/// `BENCH_perf.json` document written by `snsp-experiments perf`).
+///
+/// Beyond structure, the correctness invariants are enforced: every
+/// engine-comparison row must declare `costs_match: true` — a perf
+/// report documenting a semantic divergence between the incremental
+/// engine and its reference oracle is invalid by definition.
+///
+/// Returns every violation found (empty ⇒ valid); a parse failure is a
+/// single violation.
+pub fn validate_perf_report(text: &str) -> Result<(), Vec<String>> {
+    let doc = match parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Err(vec![format!("not JSON: {e}")]),
+    };
+    let mut errors = Vec::new();
+    let mut check = |cond: bool, msg: &str| {
+        if !cond {
+            errors.push(msg.to_string());
+        }
+    };
+
+    check(
+        doc.get("schema_version").and_then(Json::as_int) == Some(PERF_SCHEMA_VERSION),
+        "schema_version must be the integer 3",
+    );
+    check(
+        doc.get("kind").and_then(Json::as_str) == Some("perf"),
+        "kind must be the string \"perf\"",
+    );
+    check(
+        doc.get("generator")
+            .and_then(Json::as_str)
+            .is_some_and(|s| s.starts_with("snsp-experiments")),
+        "generator must be an snsp-experiments version string",
+    );
+    check(
+        doc.get("campaign")
+            .and_then(Json::as_str)
+            .is_some_and(|s| !s.is_empty()),
+        "campaign must be a non-empty string",
+    );
+
+    let mut point_count = None;
+    let mut bb_count = None;
+    match doc.get("config") {
+        None => errors.push("config object missing".to_string()),
+        Some(config) => {
+            if config.get("seeds").and_then(Json::as_int).unwrap_or(0) < 1 {
+                errors.push("config.seeds must be a positive integer".to_string());
+            }
+            match config.get("points").and_then(Json::as_arr) {
+                None => errors.push("config.points must be an array".to_string()),
+                Some(points) => {
+                    for (i, p) in points.iter().enumerate() {
+                        if p.get("label").and_then(Json::as_str).is_none() {
+                            errors.push(format!("config.points[{i}].label must be a string"));
+                        }
+                        if p.get("n_ops").and_then(Json::as_int).unwrap_or(0) < 1 {
+                            errors.push(format!(
+                                "config.points[{i}].n_ops must be a positive integer"
+                            ));
+                        }
+                        if p.get("alpha").and_then(Json::as_num).is_none() {
+                            errors.push(format!("config.points[{i}].alpha must be a number"));
+                        }
+                    }
+                    point_count = Some(points.len());
+                }
+            }
+            match config.get("bb_points").and_then(Json::as_arr) {
+                None => errors.push("config.bb_points must be an array".to_string()),
+                Some(points) => {
+                    for (i, p) in points.iter().enumerate() {
+                        if p.get("label").and_then(Json::as_str).is_none() {
+                            errors.push(format!("config.bb_points[{i}].label must be a string"));
+                        }
+                        for key in ["n_ops", "node_budget"] {
+                            if p.get(key).and_then(Json::as_int).unwrap_or(0) < 1 {
+                                errors.push(format!(
+                                    "config.bb_points[{i}].{key} must be a positive integer"
+                                ));
+                            }
+                        }
+                        if p.get("homogeneous").and_then(Json::as_bool).is_none() {
+                            errors.push(format!(
+                                "config.bb_points[{i}].homogeneous must be a boolean"
+                            ));
+                        }
+                    }
+                    bb_count = Some(points.len());
+                }
+            }
+            if config
+                .get("probe_n_ops")
+                .and_then(Json::as_int)
+                .unwrap_or(0)
+                < 1
+            {
+                errors.push("config.probe_n_ops must be a positive integer".to_string());
+            }
+        }
+    }
+
+    let ms = |obj: &Json, key: &str| -> bool {
+        obj.get(key)
+            .and_then(Json::as_num)
+            .is_some_and(|v| v >= 0.0)
+    };
+    match doc.get("results") {
+        None => errors.push("results object missing".to_string()),
+        Some(results) => {
+            match results.get("heuristics").and_then(Json::as_arr) {
+                None => errors.push("results.heuristics must be an array".to_string()),
+                Some(points) => {
+                    if let Some(n) = point_count {
+                        if points.len() != n {
+                            errors.push(format!(
+                                "results.heuristics has {} entries but config.points has {n}",
+                                points.len()
+                            ));
+                        }
+                    }
+                    for (i, point) in points.iter().enumerate() {
+                        let at = format!("results.heuristics[{i}]");
+                        if point.get("label").and_then(Json::as_str).is_none() {
+                            errors.push(format!("{at}.label must be a string"));
+                        }
+                        match point.get("rows").and_then(Json::as_arr) {
+                            None => errors.push(format!("{at}.rows must be an array")),
+                            Some(rows) => {
+                                for (j, row) in rows.iter().enumerate() {
+                                    let at = format!("{at}.rows[{j}]");
+                                    if row.get("name").and_then(Json::as_str).is_none() {
+                                        errors.push(format!("{at}.name must be a string"));
+                                    }
+                                    let runs = row.get("runs").and_then(Json::as_int);
+                                    let feasible = row.get("feasible").and_then(Json::as_int);
+                                    if !matches!((runs, feasible),
+                                        (Some(r), Some(f)) if (0..=r).contains(&f))
+                                    {
+                                        errors.push(format!(
+                                            "{at} needs integer runs >= feasible >= 0"
+                                        ));
+                                    }
+                                    for key in ["incremental_ms", "oracle_ms"] {
+                                        if !ms(row, key) {
+                                            errors.push(format!(
+                                                "{at}.{key} must be a non-negative number"
+                                            ));
+                                        }
+                                    }
+                                    if !row
+                                        .get("speedup")
+                                        .and_then(Json::as_num)
+                                        .is_some_and(|v| v > 0.0)
+                                    {
+                                        errors.push(format!(
+                                            "{at}.speedup must be a positive number"
+                                        ));
+                                    }
+                                    if row.get("costs_match").and_then(Json::as_bool) != Some(true)
+                                    {
+                                        errors.push(format!("{at}.costs_match must be true"));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            match results.get("bb").and_then(Json::as_arr) {
+                None => errors.push("results.bb must be an array".to_string()),
+                Some(rows) => {
+                    if let Some(n) = bb_count {
+                        if rows.len() != n {
+                            errors.push(format!(
+                                "results.bb has {} entries but config.bb_points has {n}",
+                                rows.len()
+                            ));
+                        }
+                    }
+                    for (i, row) in rows.iter().enumerate() {
+                        let at = format!("results.bb[{i}]");
+                        if row.get("label").and_then(Json::as_str).is_none() {
+                            errors.push(format!("{at}.label must be a string"));
+                        }
+                        for engine in ["incremental", "reference"] {
+                            match row.get(engine) {
+                                None => errors.push(format!("{at}.{engine} object missing")),
+                                Some(e) => {
+                                    if e.get("nodes").and_then(Json::as_int).unwrap_or(-1) < 0 {
+                                        errors.push(format!(
+                                            "{at}.{engine}.nodes must be a non-negative integer"
+                                        ));
+                                    }
+                                    if !ms(e, "ms") || !ms(e, "nodes_per_sec") {
+                                        errors.push(format!(
+                                            "{at}.{engine} needs non-negative ms and nodes_per_sec"
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        for key in ["wall_speedup", "node_ratio"] {
+                            if !row.get(key).and_then(Json::as_num).is_some_and(|v| v > 0.0) {
+                                errors.push(format!("{at}.{key} must be a positive number"));
+                            }
+                        }
+                        if row.get("costs_match").and_then(Json::as_bool) != Some(true) {
+                            errors.push(format!("{at}.costs_match must be true"));
+                        }
+                    }
+                }
+            }
+            match results.get("demand_probe") {
+                None => errors.push("results.demand_probe object missing".to_string()),
+                Some(probe) => {
+                    if probe.get("probes").and_then(Json::as_int).unwrap_or(0) < 1 {
+                        errors.push("results.demand_probe.probes must be positive".to_string());
+                    }
+                    for key in ["incremental_ms", "oracle_ms"] {
+                        if !ms(probe, key) {
+                            errors.push(format!(
+                                "results.demand_probe.{key} must be a non-negative number"
+                            ));
+                        }
+                    }
+                    if !probe
+                        .get("speedup")
+                        .and_then(Json::as_num)
+                        .is_some_and(|v| v > 0.0)
+                    {
+                        errors
+                            .push("results.demand_probe.speedup must be a positive number".into());
+                    }
+                    if probe.get("accepted_match").and_then(Json::as_bool) != Some(true) {
+                        errors.push("results.demand_probe.accepted_match must be true".into());
+                    }
+                }
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 fn validate_heur_row(row: &Json, i: usize, j: usize, errors: &mut Vec<String>) {
     let at = format!("results[{i}].heuristics[{j}]");
     if row.get("name").and_then(Json::as_str).is_none() {
@@ -534,6 +791,94 @@ mod tests {
         );
         let errors = validate_serve_report(&broken).unwrap_err();
         assert!(errors.iter().any(|e| e.contains("burst")), "{errors:?}");
+    }
+
+    /// A minimal well-formed perf document (what `snsp-experiments perf`
+    /// renders; kept in sync by that crate's own round-trip test).
+    fn perf_doc() -> String {
+        r#"{
+  "schema_version": 3,
+  "generator": "snsp-experiments 0.1.0",
+  "kind": "perf",
+  "campaign": "perf-ci",
+  "config": {
+    "seeds": 2,
+    "points": [
+      {"label": "140", "n_ops": 140, "alpha": 0.9}
+    ],
+    "bb_points": [
+      {"label": "hom-16", "n_ops": 16, "alpha": 0.9, "homogeneous": true, "node_budget": 500000}
+    ],
+    "probe_n_ops": 500
+  },
+  "results": {
+    "heuristics": [
+      {
+        "label": "140",
+        "rows": [
+          {
+            "name": "Subtree-Bottom-Up",
+            "runs": 2,
+            "feasible": 2,
+            "incremental_ms": 0.08,
+            "oracle_ms": 0.12,
+            "speedup": 1.5,
+            "costs_match": true
+          }
+        ]
+      }
+    ],
+    "bb": [
+      {
+        "label": "hom-16",
+        "incremental": {"nodes": 17, "ms": 0.02, "nodes_per_sec": 850000.0},
+        "reference": {"nodes": 170, "ms": 0.2, "nodes_per_sec": 850000.0},
+        "wall_speedup": 10.0,
+        "node_ratio": 10.0,
+        "costs_match": true
+      }
+    ],
+    "demand_probe": {
+      "probes": 499,
+      "incremental_ms": 0.05,
+      "oracle_ms": 5.0,
+      "speedup": 100.0,
+      "accepted_match": true
+    }
+  }
+}"#
+        .to_string()
+    }
+
+    #[test]
+    fn perf_schema_accepts_well_formed_documents() {
+        validate_perf_report(&perf_doc()).expect("perf doc validates");
+    }
+
+    #[test]
+    fn perf_schema_rejects_divergence_and_other_kinds() {
+        // A v1 campaign report is not a perf report.
+        let errors = validate_perf_report(&rendered(false)).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("schema_version")));
+        assert!(errors.iter().any(|e| e.contains("kind")));
+        // An engine divergence invalidates the document outright.
+        let broken = perf_doc().replacen("\"costs_match\": true", "\"costs_match\": false", 1);
+        let errors = validate_perf_report(&broken).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("costs_match")),
+            "{errors:?}"
+        );
+        // Zero or negative speedups are structural nonsense.
+        let broken = perf_doc().replace("\"speedup\": 100.0", "\"speedup\": 0.0");
+        let errors = validate_perf_report(&broken).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("speedup")), "{errors:?}");
+        // A missing probe block is flagged.
+        let broken = perf_doc().replace("\"demand_probe\"", "\"unrelated\"");
+        let errors = validate_perf_report(&broken).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("demand_probe")),
+            "{errors:?}"
+        );
     }
 
     #[test]

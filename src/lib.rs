@@ -87,7 +87,7 @@ pub mod prelude {
         lower_bound, max_throughput_under_budget, solve_exact, BranchBoundConfig,
     };
     pub use snsp_sweep::{
-        run_campaign, validate_report, validate_serve_report, Campaign, CampaignReport, PointSpec,
-        ReferenceConfig,
+        run_campaign, validate_perf_report, validate_report, validate_serve_report, Campaign,
+        CampaignReport, PointSpec, ReferenceConfig,
     };
 }
