@@ -1,0 +1,70 @@
+//! Refinement throughput: neighborhood moves screened per second through
+//! the probe-session engine, at the two scales the ROADMAP cares about
+//! (N = 500 and the N = 2000 north star), plus the full anytime
+//! first-improvement descent from a constructive start.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snsp_bench::bench_instance;
+use snsp_core::heuristics::{solve_seeded, PipelineOptions, PlacementOptions, Solution};
+use snsp_core::instance::Instance;
+use snsp_core::refine::RefineOptions;
+use snsp_gen::ScenarioParams;
+use snsp_search::{moves, refine, SearchState};
+
+fn start(inst: &Instance) -> Solution {
+    solve_seeded(
+        &snsp_core::heuristics::SubtreeBottomUp,
+        inst,
+        1,
+        &PipelineOptions::default(),
+    )
+    .expect("bench instances are feasible")
+}
+
+/// Screens one full deterministic neighborhood sweep (no commits); the
+/// return value is the count of finite screened deltas as a sink.
+fn screen_sweep(inst: &Instance, sol: &Solution) -> u64 {
+    let mut state = SearchState::new(inst, sol, PlacementOptions::default(), 0, 2);
+    let sweep = moves::enumerate(&state);
+    let mut screened = 0u64;
+    for mv in &sweep {
+        screened += u64::from(state.screen(mv).is_some());
+    }
+    screened
+}
+
+fn refine_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refine");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &n in &[500usize, 2000] {
+        // The paper baseline (α = 0.9) is the only regime feasible all
+        // the way to N = 2000 — exactly the scale the ROADMAP's north
+        // star serves, and the workload the serve layer refines online.
+        let inst = bench_instance(&ScenarioParams::paper(n, 0.9), 1);
+        let sol = start(&inst);
+        group.bench_with_input(BenchmarkId::new("screen_sweep", n), &n, |b, _| {
+            b.iter(|| screen_sweep(&inst, &sol))
+        });
+        group.bench_with_input(BenchmarkId::new("descent", n), &n, |b, _| {
+            b.iter(|| {
+                refine(
+                    &inst,
+                    &sol,
+                    PlacementOptions::default(),
+                    &RefineOptions {
+                        max_evals: 1_000,
+                        ..Default::default()
+                    },
+                )
+                .solution
+                .cost
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, refine_bench);
+criterion_main!(benches);

@@ -1469,4 +1469,81 @@ mod tests {
         assert_eq!(before.comm_rate.to_bits(), after.comm_rate.to_bits());
         assert_eq!(before.max_cut_edge.to_bits(), after.max_cut_edge.to_bits());
     }
+
+    fn assert_demand_bits_eq(a: &Demand, b: &Demand, ctx: &str) {
+        assert_eq!(a.work.to_bits(), b.work.to_bits(), "{ctx}: work");
+        assert_eq!(
+            a.download_rate.to_bits(),
+            b.download_rate.to_bits(),
+            "{ctx}: download_rate"
+        );
+        assert_eq!(
+            a.comm_rate.to_bits(),
+            b.comm_rate.to_bits(),
+            "{ctx}: comm_rate"
+        );
+        assert_eq!(
+            a.max_cut_edge.to_bits(),
+            b.max_cut_edge.to_bits(),
+            "{ctx}: max_cut_edge"
+        );
+        assert_eq!(
+            a.max_group_traffic.to_bits(),
+            b.max_group_traffic.to_bits(),
+            "{ctx}: max_group_traffic"
+        );
+        assert_eq!(a.undownloadable, b.undownloadable, "{ctx}: undownloadable");
+    }
+
+    #[test]
+    fn multi_group_union_probe_undo_leaves_no_residue() {
+        // The swap/merge screening pattern of snsp-search: a session is
+        // seeded from one live group, extended across a *second* live
+        // group (probe_add_group) and then over free operators, and the
+        // extras are rolled back. Rejected candidates must restore the
+        // accumulator bit-for-bit — any residue would leak into every
+        // later screening of the same descent.
+        for seed in [3u64, 11, 19] {
+            let inst = paper_like_instance(30, 1.0, seed);
+            let mut b = GroupBuilder::new(&inst, PlacementOptions::default());
+            let ops: Vec<OpId> = inst.tree.ops().collect();
+            let ga = b.create_group(ops[0..6].to_vec(), 1);
+            let gb = b.create_group(ops[6..10].to_vec(), 2);
+            b.create_group(ops[10..14].to_vec(), 0);
+
+            b.probe_load_group(ga);
+            let base = b.probe_demand();
+
+            // Union probe (merge screening), rolled back member by member.
+            b.probe_add_group(gb);
+            let union = b.probe_demand();
+            for _ in 0..b.group_ops(gb).len() {
+                b.probe_undo();
+            }
+            assert_demand_bits_eq(&b.probe_demand(), &base, "after group-union undo");
+
+            // Swap-style extras: free ops probed on top and rolled back.
+            for &op in &ops[14..20] {
+                b.probe_add(op);
+            }
+            for _ in 14..20 {
+                b.probe_undo();
+            }
+            assert_demand_bits_eq(&b.probe_demand(), &base, "after free-op undo");
+            assert!(b.probe_session_is(ga), "session base survives LIFO undo");
+
+            // Committing the union via merge + adopt must leave the
+            // session equal to a fresh reload of the merged group.
+            b.probe_add_group(gb);
+            let kind = b.probe_cheapest_kind().unwrap_or(3);
+            b.merge_groups(ga, gb, kind);
+            b.probe_adopt_group(ga);
+            let adopted = b.probe_demand();
+            assert_demand_bits_eq(&adopted, &union, "adopted == screened union");
+            b.probe_reset();
+            b.probe_load_group(ga);
+            let reloaded = b.probe_demand();
+            assert_demand_bits_eq(&adopted, &reloaded, "adopted == reloaded");
+        }
+    }
 }

@@ -70,6 +70,13 @@ pub struct PipelineOptions {
     /// Whether to run the downgrade pass (on by default; disable for the
     /// ablation bench).
     pub downgrade: bool,
+    /// Optional anytime local-search post-pass. [`solve`] itself runs
+    /// the constructive pipeline only (the algorithms live downstream in
+    /// `snsp-search`, which depends on this crate); set this and call
+    /// `snsp_search::solve_refined` / `solve_refined_seeded` to descend
+    /// from the constructive solution. `None` everywhere reproduces the
+    /// paper's pipeline exactly.
+    pub refine: Option<crate::refine::RefineOptions>,
 }
 
 impl Default for PipelineOptions {
@@ -78,6 +85,7 @@ impl Default for PipelineOptions {
             placement: PlacementOptions::default(),
             server_strategy: None,
             downgrade: true,
+            refine: None,
         }
     }
 }

@@ -63,6 +63,7 @@ pub mod mapping;
 pub mod multi;
 pub mod object;
 pub mod platform;
+pub mod refine;
 pub mod report;
 pub mod rewrite;
 pub mod tree;
@@ -75,5 +76,6 @@ pub use instance::Instance;
 pub use mapping::{Download, Mapping};
 pub use object::{ObjectCatalog, ObjectType};
 pub use platform::{Catalog, ObjectPlacement, Platform, ProcessorKind, Server};
+pub use refine::{AnnealSchedule, RefineDriver, RefineOptions};
 pub use tree::{OperatorTree, TreeBuilder};
 pub use work::WorkModel;

@@ -204,6 +204,58 @@ pub fn serve_tables(report: &snsp_serve::ServeCampaignReport, title: &str) -> Ve
     vec![t]
 }
 
+/// Renders the heuristic-vs-refined-vs-exact table from a refinement
+/// campaign report (the human-readable view of `BENCH_refine.json`).
+pub fn refine_tables(report: &snsp_search::RefineCampaignReport, title: &str) -> Vec<Table> {
+    let mut t = Table::new(
+        format!(
+            "{title} — Subtree-Bottom-Up start vs refined vs exact over {} seeds ({}, {} evals, top-{})",
+            report.seeds,
+            report.refine.driver.name(),
+            report.refine.max_evals,
+            report.top_k
+        ),
+        &[
+            "point",
+            "feasible",
+            "start ($)",
+            "refined ($)",
+            "improved",
+            "exact ($)",
+            "gap vs exact",
+            "lower bound",
+        ],
+    );
+    for p in &report.points {
+        let (exact_cost, gap) = match &p.exact {
+            Some(e) => (
+                fmt_cost(e.mean_cost),
+                // The gap is computed over certified (untruncated) seeds
+                // only, so it stays meaningful even when other seeds
+                // truncated — flag the partial coverage instead of
+                // hiding the measurement.
+                match (e.max_gap_pct, e.optimal) {
+                    (Some(g), true) => format!("{g:.1}%"),
+                    (Some(g), false) => format!("{g:.1}% (certified seeds)"),
+                    (None, _) => "truncated".into(),
+                },
+            ),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        t.push(vec![
+            p.label.clone(),
+            format!("{}/{}", p.feasible, p.runs),
+            fmt_cost(p.mean_start_cost),
+            fmt_cost(p.mean_refined_cost),
+            format!("{}/{}", p.improved, p.feasible),
+            exact_cost,
+            gap,
+            format!("{:.0}", p.mean_lower_bound),
+        ]);
+    }
+    vec![t]
+}
+
 fn fig2_points(alpha: f64) -> Vec<PointSpec> {
     points_of(
         (20..=140)
@@ -675,6 +727,17 @@ mod tests {
             assert!(!campaign.points.is_empty());
         }
         assert!(serve_grid("nope", 2).is_none());
+    }
+
+    #[test]
+    fn refine_tables_mirror_the_grid() {
+        let mut campaign = snsp_search::refine_grid("ci", 1).unwrap();
+        campaign.points.truncate(2);
+        campaign.refine.max_evals = 200;
+        let report = snsp_search::run_refine_campaign(&campaign);
+        let tables = refine_tables(&report, "refine-ci");
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), campaign.points.len());
     }
 
     #[test]

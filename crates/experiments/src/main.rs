@@ -27,10 +27,20 @@
 //!   oracles (heuristic pipelines, branch-and-bound, raw demand probes)
 //!   and writes BENCH_perf.json (schema v3, byte-stable layout).
 //!
+//! snsp-experiments refine --grid <ci|fig2|large-n>
+//!                         [--seeds K] [--workers W] [--json PATH]
+//!                         [--stable-json] [--out DIR]
+//!   Races the six heuristics as starts, refines the best with the
+//!   snsp-search portfolio and writes BENCH_refine.json (schema v4,
+//!   byte-identical at any worker count in --stable-json form; the ci
+//!   grid carries an exact branch-and-bound reference column).
+//!
 //! snsp-experiments validate <PATH>
-//!   Schema-checks a BENCH_sweep.json (v1), BENCH_serve.json (v2) or
-//!   BENCH_perf.json (v3) — the latter two sniffed via their "kind"
-//!   discriminator; exits non-zero on violations.
+//!   Schema-checks a BENCH_sweep.json (v1), BENCH_serve.json (v2),
+//!   BENCH_perf.json (v3) or BENCH_refine.json (v4) — the kinded
+//!   documents sniffed via their "kind" discriminator; exits non-zero on
+//!   violations (cross-kind files are rejected with the mismatching
+//!   fields spelled out).
 //! ```
 
 mod experiments;
@@ -40,9 +50,11 @@ mod table;
 use std::path::PathBuf;
 use std::time::Instant;
 
+use snsp_search::run_refine_campaign;
 use snsp_serve::run_serve_campaign;
 use snsp_sweep::{
-    run_campaign, validate_perf_report, validate_report, validate_serve_report, ReferenceConfig,
+    run_campaign, validate_perf_report, validate_refine_report, validate_report,
+    validate_serve_report, ReferenceConfig,
 };
 use table::Table;
 
@@ -120,6 +132,8 @@ fn usage() -> String {
      \u{20}      snsp-experiments serve --grid <ID> [--seeds K] [--workers W] \
      [--json PATH] [--stable-json] [--out DIR]\n\
      \u{20}      snsp-experiments perf --grid <ci|large-n> [--seeds K] [--json PATH] [--out DIR]\n\
+     \u{20}      snsp-experiments refine --grid <ci|fig2|large-n> [--seeds K] [--workers W] \
+     [--json PATH] [--stable-json] [--out DIR]\n\
      \u{20}      snsp-experiments validate <PATH>"
         .to_string()
 }
@@ -247,11 +261,55 @@ fn run_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn run_refine(args: &Args) -> Result<(), String> {
+    let grid_id = args
+        .grid
+        .as_deref()
+        .ok_or_else(|| format!("refine needs --grid <id>\n{}", usage()))?;
+    let mut campaign = snsp_search::refine_grid(grid_id, args.seeds).ok_or_else(|| {
+        format!(
+            "unknown refine grid {grid_id}; available: {}",
+            snsp_search::REFINE_GRID_IDS.join(" ")
+        )
+    })?;
+    if let Some(w) = args.workers {
+        campaign = campaign.with_workers(w);
+    }
+
+    let report = run_refine_campaign(&campaign);
+    let tables = experiments::refine_tables(&report, &format!("refine campaign {grid_id}"));
+    write_tables(&format!("refine_{grid_id}"), &tables, &args.out_dir);
+
+    let json_path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| args.out_dir.join("BENCH_refine.json"));
+    let body = report.render_json(!args.stable_json);
+    validate_refine_report(&body)
+        .map_err(|errors| format!("generated refine report failed validation: {errors:?}"))?;
+    if let Some(dir) = json_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&json_path, &body)
+        .map_err(|e| format!("could not write {}: {e}", json_path.display()))?;
+    println!("[json] {}", json_path.display());
+    if let Some(t) = &report.timing {
+        println!(
+            "[refine {grid_id}] {} jobs on {} workers: run {:.3}s, total {:.3}s",
+            t.jobs, t.workers, t.run_s, t.total_s
+        );
+    }
+    Ok(())
+}
+
 fn run_validate(path: &PathBuf) -> Result<(), String> {
     let body = std::fs::read_to_string(path)
         .map_err(|e| format!("could not read {}: {e}", path.display()))?;
     // Sniff the document kind: serve reports carry `"kind": "serve"`,
-    // perf reports `"kind": "perf"`; campaign reports (v1) have no kind.
+    // perf reports `"kind": "perf"`, refine reports `"kind": "refine"`;
+    // campaign reports (v1) have no kind. An unrecognized kind falls
+    // through to the v1 validator, which rejects it with the mismatching
+    // fields named — cross-kind files never validate silently.
     let kind = snsp_sweep::json::parse(&body).ok().and_then(|doc| {
         doc.get("kind")
             .and_then(snsp_sweep::Json::as_str)
@@ -260,6 +318,10 @@ fn run_validate(path: &PathBuf) -> Result<(), String> {
     let (label, outcome) = match kind.as_deref() {
         Some("serve") => ("BENCH_serve.json (schema v2)", validate_serve_report(&body)),
         Some("perf") => ("BENCH_perf.json (schema v3)", validate_perf_report(&body)),
+        Some("refine") => (
+            "BENCH_refine.json (schema v4)",
+            validate_refine_report(&body),
+        ),
         _ => ("BENCH_sweep.json (schema v1)", validate_report(&body)),
     };
     match outcome {
@@ -345,6 +407,13 @@ fn main() {
     }
     if args.experiment == "perf" {
         if let Err(e) = run_perf(&args) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.experiment == "refine" {
+        if let Err(e) = run_refine(&args) {
             eprintln!("{e}");
             std::process::exit(2);
         }

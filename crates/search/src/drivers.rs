@@ -1,0 +1,408 @@
+//! The anytime drivers descending from a constructive start, and the
+//! portfolio racing all six heuristics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use snsp_core::heuristics::{
+    all_heuristics, solve_seeded, HeuristicError, PipelineOptions, PlacementOptions, Solution,
+};
+use snsp_core::instance::Instance;
+use snsp_core::refine::{AnnealSchedule, RefineDriver, RefineOptions};
+
+use crate::moves::{enumerate, propose, Move};
+use crate::state::{RefineStats, Screened, SearchState};
+
+/// A shared, strictly-decreasing work allowance. One unit is one screened
+/// candidate move (or annealing proposal); callers outside this crate —
+/// `snsp-serve`'s departure re-consolidation — charge it per relocation
+/// attempt. Exhaustion is a clean stop, never an error: anytime callers
+/// keep whatever verified state they already hold.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    limit: u64,
+    used: u64,
+}
+
+impl Budget {
+    /// A budget of `limit` units.
+    pub fn new(limit: u64) -> Self {
+        Budget { limit, used: 0 }
+    }
+
+    /// Consumes `n` units; `false` (and no charge) when fewer remain.
+    pub fn charge(&mut self, n: u64) -> bool {
+        if self.used + n > self.limit {
+            return false;
+        }
+        self.used += n;
+        true
+    }
+
+    /// Units consumed so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Units still available.
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.used
+    }
+
+    /// Whether nothing remains.
+    pub fn exhausted(&self) -> bool {
+        self.used >= self.limit
+    }
+}
+
+/// A refined solution with its run statistics.
+#[derive(Debug, Clone)]
+pub struct RefineOutcome {
+    /// The best verified solution found (cost ≤ the start's).
+    pub solution: Solution,
+    /// What the search did to get there.
+    pub stats: RefineStats,
+}
+
+/// Refines a feasible solution in place of the paper's future-work
+/// paragraph: anytime local search over the typed neighborhood, screened
+/// through the incremental demand engine and committed only past the
+/// full constraint check. The result never costs more than `start`.
+pub fn refine(
+    inst: &Instance,
+    start: &Solution,
+    placement: PlacementOptions,
+    opts: &RefineOptions,
+) -> RefineOutcome {
+    let mut state = SearchState::new(inst, start, placement, opts.seed, opts.reroute_attempts);
+    let mut budget = Budget::new(opts.max_evals);
+    let mut stats = RefineStats {
+        start_cost: start.cost,
+        final_cost: start.cost,
+        ..Default::default()
+    };
+    let solution = match opts.driver {
+        RefineDriver::FirstImprovement => {
+            greedy(&mut state, &mut budget, &mut stats, false);
+            state.solution(start.heuristic)
+        }
+        RefineDriver::Steepest => {
+            greedy(&mut state, &mut budget, &mut stats, true);
+            state.solution(start.heuristic)
+        }
+        RefineDriver::Anneal(sched) => anneal(
+            &mut state,
+            &mut budget,
+            &mut stats,
+            sched,
+            opts.seed,
+            start.heuristic,
+        ),
+    };
+    stats.evals = budget.used();
+    stats.final_cost = solution.cost;
+    debug_assert!(solution.cost <= start.cost, "refinement never regresses");
+    RefineOutcome { solution, stats }
+}
+
+/// Greedy descent: first-improvement restarts the sweep on every commit;
+/// steepest screens the whole sweep and commits the largest drop
+/// (falling through to the next-best candidate when verification rejects
+/// it). Terminates at a local optimum or on budget exhaustion, then
+/// polishes the download routing.
+fn greedy(
+    state: &mut SearchState<'_>,
+    budget: &mut Budget,
+    stats: &mut RefineStats,
+    steepest: bool,
+) {
+    'descent: loop {
+        let moves = enumerate(state);
+        let mut candidates: Vec<(i64, usize, Screened)> = Vec::new();
+        for (i, mv) in moves.iter().enumerate() {
+            if !budget.charge(1) {
+                break 'descent;
+            }
+            let Some(sc) = state.screen(mv) else { continue };
+            if sc.delta >= 0 {
+                continue;
+            }
+            if steepest {
+                candidates.push((sc.delta, i, sc));
+            } else if state.apply(&sc, budget.used()) {
+                stats.accepted += 1;
+                continue 'descent;
+            } else {
+                stats.verify_rejected += 1;
+            }
+        }
+        if steepest {
+            candidates.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+            for (_, _, sc) in &candidates {
+                if state.apply(sc, budget.used()) {
+                    stats.accepted += 1;
+                    continue 'descent;
+                }
+                stats.verify_rejected += 1;
+            }
+        }
+        break; // full sweep, no commit: a local optimum
+    }
+    // Routing polish: seeded re-routes that strictly reduce the peak
+    // relative server load (cost is already locally optimal).
+    let mut k = 0u64;
+    while budget.charge(1) {
+        if state.try_reroute(state_reroute_seed(stats.start_cost, k)) {
+            stats.rerouted += 1;
+        }
+        k += 1;
+        if k >= 4 {
+            break;
+        }
+    }
+}
+
+fn state_reroute_seed(base: u64, k: u64) -> u64 {
+    base.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ k
+}
+
+/// Simulated annealing with geometric cooling. Every accepted state is
+/// fully verified (the trajectory never leaves the feasible region), and
+/// the best state along the way is snapshotted and returned.
+fn anneal(
+    state: &mut SearchState<'_>,
+    budget: &mut Budget,
+    stats: &mut RefineStats,
+    sched: AnnealSchedule,
+    seed: u64,
+    heuristic: &'static str,
+) -> Solution {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = sched.t0.max(1e-9);
+    let mut best = state.solution(heuristic);
+    while budget.charge(1) {
+        let mv = propose(state, &mut rng);
+        if let Move::Reroute { attempt } = mv {
+            if state.try_reroute(seed ^ u64::from(attempt)) {
+                stats.rerouted += 1;
+            }
+            t *= sched.cooling;
+            continue;
+        }
+        if let Some(sc) = state.screen(&mv) {
+            let accept = sc.delta <= 0 || {
+                let p = (-(sc.delta as f64) / t).exp();
+                rng.gen_range(0.0..1.0) < p
+            };
+            if accept {
+                if state.apply(&sc, budget.used()) {
+                    stats.accepted += 1;
+                    if state.cost() < best.cost {
+                        best = state.solution(heuristic);
+                    }
+                } else {
+                    stats.verify_rejected += 1;
+                }
+            }
+        }
+        t *= sched.cooling;
+    }
+    best
+}
+
+/// The solve-path integration: runs the constructive pipeline
+/// (`snsp_core::heuristics::solve_seeded`) and then honors
+/// [`PipelineOptions::refine`] as the post-pass. With `refine: None`
+/// this is exactly `solve_seeded`.
+pub fn solve_refined_seeded(
+    heuristic: &dyn snsp_core::heuristics::Heuristic,
+    inst: &Instance,
+    seed: u64,
+    opts: &PipelineOptions,
+) -> Result<Solution, HeuristicError> {
+    let sol = solve_seeded(heuristic, inst, seed, opts)?;
+    Ok(match opts.refine {
+        Some(r) => refine(inst, &sol, opts.placement, &r).solution,
+        None => sol,
+    })
+}
+
+/// The portfolio driver: race all six paper heuristics as starts, keep
+/// the feasible ones, refine the cheapest `top_k`, and return the best
+/// refined solution (never worse than the best start). `None` when no
+/// heuristic finds a feasible start.
+pub fn refine_portfolio(
+    inst: &Instance,
+    seed: u64,
+    opts: &PipelineOptions,
+    top_k: usize,
+) -> Option<RefineOutcome> {
+    let constructive = PipelineOptions {
+        refine: None,
+        ..*opts
+    };
+    let refine_opts = opts.refine.unwrap_or_default();
+    let mut starts: Vec<Solution> = all_heuristics()
+        .iter()
+        .filter_map(|h| solve_seeded(h.as_ref(), inst, seed, &constructive).ok())
+        .collect();
+    starts.sort_by_key(|a| a.cost);
+    if starts.is_empty() {
+        return None;
+    }
+    let best_start = starts[0].clone();
+    let mut best: Option<RefineOutcome> = None;
+    for start in starts.into_iter().take(top_k.max(1)) {
+        let out = refine(inst, &start, opts.placement, &refine_opts);
+        let replace = best
+            .as_ref()
+            .is_none_or(|b| out.solution.cost < b.solution.cost);
+        let evals = out.stats.evals + best.as_ref().map_or(0, |b| b.stats.evals);
+        let accepted = out.stats.accepted + best.as_ref().map_or(0, |b| b.stats.accepted);
+        let verify_rejected =
+            out.stats.verify_rejected + best.as_ref().map_or(0, |b| b.stats.verify_rejected);
+        let rerouted = out.stats.rerouted + best.as_ref().map_or(0, |b| b.stats.rerouted);
+        let mut keep = if replace {
+            out
+        } else {
+            best.expect("non-replacing iteration had a previous best")
+        };
+        keep.stats.evals = evals;
+        keep.stats.accepted = accepted;
+        keep.stats.verify_rejected = verify_rejected;
+        keep.stats.rerouted = rerouted;
+        best = Some(keep);
+    }
+    let mut out = best.expect("at least one start was refined");
+    out.stats.start_cost = best_start.cost;
+    out.stats.final_cost = out.solution.cost;
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snsp_core::constraints;
+    use snsp_core::heuristics::heuristic_by_name;
+    use snsp_core::refine::RefineDriver;
+    use snsp_gen::{generate, ScenarioParams, TreeShape};
+
+    fn opts_with(driver: RefineDriver, max_evals: u64) -> PipelineOptions {
+        PipelineOptions {
+            refine: Some(RefineOptions {
+                driver,
+                max_evals,
+                ..Default::default()
+            }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn every_driver_never_regresses_and_stays_feasible() {
+        let drivers = [
+            RefineDriver::FirstImprovement,
+            RefineDriver::Steepest,
+            RefineDriver::Anneal(AnnealSchedule::default()),
+        ];
+        for seed in 0..4u64 {
+            let inst = generate(&ScenarioParams::paper(30, 0.9), TreeShape::Random, seed);
+            let h = heuristic_by_name("Comp-Greedy").unwrap();
+            let start = solve_seeded(h.as_ref(), &inst, seed, &PipelineOptions::default()).unwrap();
+            for driver in drivers {
+                let out = refine(
+                    &inst,
+                    &start,
+                    PlacementOptions::default(),
+                    &RefineOptions {
+                        driver,
+                        max_evals: 600,
+                        ..Default::default()
+                    },
+                );
+                assert!(
+                    out.solution.cost <= start.cost,
+                    "{} regressed: {} > {}",
+                    driver.name(),
+                    out.solution.cost,
+                    start.cost
+                );
+                assert!(constraints::is_feasible(&inst, &out.solution.mapping));
+                assert_eq!(out.stats.final_cost, out.solution.cost);
+                assert!(out.stats.evals <= 600);
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_is_deterministic_per_seed() {
+        let inst = generate(&ScenarioParams::paper(40, 0.9), TreeShape::Random, 3);
+        let run = |seed: u64| {
+            refine_portfolio(
+                &inst,
+                3,
+                &opts_with(RefineDriver::Anneal(AnnealSchedule::default()), 800),
+                2,
+            )
+            .map(|o| {
+                (
+                    o.solution.cost,
+                    o.solution.mapping.assignment.clone(),
+                    o.solution.mapping.downloads.clone(),
+                    seed,
+                )
+            })
+        };
+        let a = run(1);
+        let b = run(1);
+        assert_eq!(a.map(|x| (x.0, x.1, x.2)), b.map(|x| (x.0, x.1, x.2)));
+    }
+
+    #[test]
+    fn solve_refined_with_none_matches_solve_seeded() {
+        let inst = generate(&ScenarioParams::paper(20, 0.9), TreeShape::Random, 5);
+        let h = heuristic_by_name("subtree-bottom-up").unwrap();
+        let plain = solve_seeded(h.as_ref(), &inst, 5, &PipelineOptions::default()).unwrap();
+        let wrapped =
+            solve_refined_seeded(h.as_ref(), &inst, 5, &PipelineOptions::default()).unwrap();
+        assert_eq!(plain.cost, wrapped.cost);
+        assert_eq!(plain.mapping.assignment, wrapped.mapping.assignment);
+    }
+
+    #[test]
+    fn portfolio_beats_or_matches_its_best_start() {
+        for seed in 0..3u64 {
+            let inst = generate(&ScenarioParams::paper(40, 1.2), TreeShape::Random, seed);
+            let constructive = PipelineOptions::default();
+            let best_start = all_heuristics()
+                .iter()
+                .filter_map(|h| solve_seeded(h.as_ref(), &inst, seed, &constructive).ok())
+                .map(|s| s.cost)
+                .min();
+            let out = refine_portfolio(
+                &inst,
+                seed,
+                &opts_with(RefineDriver::FirstImprovement, 1500),
+                3,
+            );
+            match (best_start, out) {
+                (Some(start), Some(out)) => {
+                    assert!(out.solution.cost <= start);
+                    assert_eq!(out.stats.start_cost, start);
+                    assert!(constraints::is_feasible(&inst, &out.solution.mapping));
+                }
+                (None, None) => {}
+                (a, b) => panic!("portfolio feasibility diverged: {a:?} vs {}", b.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn budget_charges_and_exhausts() {
+        let mut b = Budget::new(3);
+        assert!(b.charge(2) && b.remaining() == 1);
+        assert!(!b.charge(2), "over-charge refused");
+        assert!(b.charge(1) && b.exhausted());
+        assert_eq!(b.used(), 3);
+    }
+}

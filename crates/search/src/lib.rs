@@ -1,0 +1,63 @@
+//! # snsp-search — anytime local-search refinement
+//!
+//! The paper's constructive heuristics land 10–50% above the exact
+//! branch-and-bound cost on the grids it could certify, and its §6
+//! leaves refinement as future work. This crate closes that gap: take
+//! **any** feasible solution and descend toward the optimum, evaluating
+//! thousands of neighborhood moves per second through the incremental
+//! demand engine (`GroupBuilder` probe sessions + the reusable
+//! `ServerSelector`) that PR 4 built exactly for this access pattern.
+//!
+//! ## Quick tour
+//!
+//! * [`moves::Move`] — the typed neighborhood: reassign an operator to
+//!   another group, swap operators across groups, split/merge groups,
+//!   retarget a group to a cheaper catalog kind, re-route a download.
+//! * [`SearchState`] — screen-then-verify: moves are priced
+//!   allocation-light through probe sessions, and committed only after
+//!   download re-sourcing plus the paper's full constraint check — the
+//!   state is always a verified feasible solution, so stopping at any
+//!   budget is safe (the *anytime* contract).
+//! * [`refine`] — three deterministic drivers: first-improvement and
+//!   steepest greedy descent, and seeded simulated annealing.
+//! * [`refine_portfolio`] — race all six paper heuristics as starts and
+//!   refine the cheapest `k`.
+//! * [`solve_refined_seeded`] — the solve-path integration honoring
+//!   [`PipelineOptions::refine`](snsp_core::heuristics::PipelineOptions).
+//! * [`RefineCampaign`] / [`run_refine_campaign`] — whole grids on
+//!   `snsp-sweep`'s pool, with schema-v4 `BENCH_refine.json` that is
+//!   byte-identical at any worker count
+//!   ([`validate_refine_report`](snsp_sweep::validate_refine_report)).
+//! * [`Budget`] — the shared work allowance `snsp-serve`'s departure
+//!   re-consolidation charges per relocation attempt.
+//!
+//! ```
+//! use snsp_core::heuristics::{solve_seeded, PipelineOptions, SubtreeBottomUp};
+//! use snsp_core::refine::RefineOptions;
+//! use snsp_gen::paper_instance;
+//! use snsp_search::refine;
+//!
+//! let inst = paper_instance(30, 0.9, 7);
+//! let start = solve_seeded(&SubtreeBottomUp, &inst, 7, &PipelineOptions::default()).unwrap();
+//! let out = refine(
+//!     &inst,
+//!     &start,
+//!     Default::default(),
+//!     &RefineOptions { max_evals: 500, ..Default::default() },
+//! );
+//! assert!(out.solution.cost <= start.cost); // the anytime guarantee
+//! assert!(snsp_core::is_feasible(&inst, &out.solution.mapping));
+//! ```
+
+pub mod campaign;
+pub mod drivers;
+pub mod moves;
+pub mod state;
+
+pub use campaign::{
+    refine_grid, run_refine_campaign, ExactColumn, RefineCampaign, RefineCampaignReport,
+    RefinePoint, RefinePointReport, RefineReference, REFINE_GRID_IDS,
+};
+pub use drivers::{refine, refine_portfolio, solve_refined_seeded, Budget, RefineOutcome};
+pub use moves::{Move, Target};
+pub use state::{RefineStats, Screened, SearchState};

@@ -47,6 +47,8 @@ pub mod sim;
 pub use campaign::{
     run_serve_campaign, ServeCampaign, ServeCampaignReport, ServePoint, ServePointReport,
 };
-pub use platform::{AdmitError, AdmitOutcome, FailOutcome, LivePlatform, Tenant};
+pub use platform::{
+    AdmitError, AdmitOutcome, FailOutcome, LivePlatform, Tenant, DEFAULT_DEPART_EVALS,
+};
 pub use report::TraceReport;
 pub use sim::{run_trace, ServeConfig};

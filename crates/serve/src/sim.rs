@@ -36,6 +36,9 @@ pub struct ServeConfig {
     pub final_validation: bool,
     /// Engine configuration for the spot runs.
     pub sim: SimConfig,
+    /// Evacuation-attempt budget for the post-departure consolidation
+    /// refinement (see `LivePlatform::depart_budgeted`).
+    pub refine_evals: u64,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +50,7 @@ impl Default for ServeConfig {
             spot_admissions: 0,
             final_validation: true,
             sim: SimConfig::default(),
+            refine_evals: crate::platform::DEFAULT_DEPART_EVALS,
         }
     }
 }
@@ -132,7 +136,8 @@ pub fn run_trace(trace: &Trace, config: &ServeConfig) -> TraceReport {
                 }
             }
             TraceEvent::Depart { tenant } => {
-                if live.depart(tenant) {
+                let mut budget = snsp_search::Budget::new(config.refine_evals);
+                if live.depart_budgeted(tenant, &mut budget) {
                     report.departed += 1;
                     log.push(format!(
                         "{t:.6} depart t{tenant} procs={} cost={}",

@@ -21,6 +21,9 @@ pub const SERVE_SCHEMA_VERSION: i64 = 2;
 /// The schema version stamped into (and required of) every perf report.
 pub const PERF_SCHEMA_VERSION: i64 = 3;
 
+/// The schema version stamped into (and required of) every refine report.
+pub const REFINE_SCHEMA_VERSION: i64 = 4;
+
 /// Validates a serialized campaign report against schema v1.
 ///
 /// Returns every violation found (empty ⇒ valid); a parse failure is a
@@ -620,6 +623,202 @@ pub fn validate_perf_report(text: &str) -> Result<(), Vec<String>> {
     }
 }
 
+/// Validates a serialized refinement report against schema v4 (the
+/// `BENCH_refine.json` document written by `snsp-search` /
+/// `snsp-experiments refine`).
+///
+/// Beyond structure, the algorithm's invariant is enforced: every result
+/// row must declare `never_worse: true` — a refinement report
+/// documenting a cost regression is invalid by definition — and the
+/// mean refined cost may not exceed the mean starting cost.
+///
+/// Returns every violation found (empty ⇒ valid); a parse failure is a
+/// single violation.
+pub fn validate_refine_report(text: &str) -> Result<(), Vec<String>> {
+    let doc = match parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Err(vec![format!("not JSON: {e}")]),
+    };
+    let mut errors = Vec::new();
+    let mut check = |cond: bool, msg: &str| {
+        if !cond {
+            errors.push(msg.to_string());
+        }
+    };
+
+    check(
+        doc.get("schema_version").and_then(Json::as_int) == Some(REFINE_SCHEMA_VERSION),
+        "schema_version must be the integer 4",
+    );
+    check(
+        doc.get("kind").and_then(Json::as_str) == Some("refine"),
+        "kind must be the string \"refine\"",
+    );
+    check(
+        doc.get("generator")
+            .and_then(Json::as_str)
+            .is_some_and(|s| s.starts_with("snsp-search")),
+        "generator must be an snsp-search version string",
+    );
+    check(
+        doc.get("campaign")
+            .and_then(Json::as_str)
+            .is_some_and(|s| !s.is_empty()),
+        "campaign must be a non-empty string",
+    );
+
+    let point_count = match doc.get("config") {
+        None => {
+            errors.push("config object missing".to_string());
+            None
+        }
+        Some(config) => {
+            if config.get("seeds").and_then(Json::as_int).unwrap_or(0) < 1 {
+                errors.push("config.seeds must be a positive integer".to_string());
+            }
+            if config
+                .get("driver")
+                .and_then(Json::as_str)
+                .is_none_or(str::is_empty)
+            {
+                errors.push("config.driver must be a non-empty string".to_string());
+            }
+            for key in ["max_evals", "top_k"] {
+                if config.get(key).and_then(Json::as_int).unwrap_or(0) < 1 {
+                    errors.push(format!("config.{key} must be a positive integer"));
+                }
+            }
+            match config.get("points").and_then(Json::as_arr) {
+                None => {
+                    errors.push("config.points must be an array".to_string());
+                    None
+                }
+                Some(points) => {
+                    for (i, p) in points.iter().enumerate() {
+                        if p.get("label").and_then(Json::as_str).is_none() {
+                            errors.push(format!("config.points[{i}].label must be a string"));
+                        }
+                        if p.get("n_ops").and_then(Json::as_int).unwrap_or(0) < 1 {
+                            errors.push(format!(
+                                "config.points[{i}].n_ops must be a positive integer"
+                            ));
+                        }
+                        if p.get("alpha").and_then(Json::as_num).is_none() {
+                            errors.push(format!("config.points[{i}].alpha must be a number"));
+                        }
+                        if p.get("homogeneous").and_then(Json::as_bool).is_none() {
+                            errors
+                                .push(format!("config.points[{i}].homogeneous must be a boolean"));
+                        }
+                    }
+                    Some(points.len())
+                }
+            }
+        }
+    };
+
+    match doc.get("results").and_then(Json::as_arr) {
+        None => errors.push("results must be an array".to_string()),
+        Some(results) => {
+            if let Some(n) = point_count {
+                if results.len() != n {
+                    errors.push(format!(
+                        "results has {} entries but config.points has {n}",
+                        results.len()
+                    ));
+                }
+            }
+            for (i, point) in results.iter().enumerate() {
+                let at = format!("results[{i}]");
+                if point.get("label").and_then(Json::as_str).is_none() {
+                    errors.push(format!("{at}.label must be a string"));
+                }
+                let runs = point.get("runs").and_then(Json::as_int);
+                let feasible = point.get("feasible").and_then(Json::as_int);
+                if !matches!((runs, feasible), (Some(r), Some(f)) if (0..=r).contains(&f)) {
+                    errors.push(format!("{at} needs integer runs >= feasible >= 0"));
+                }
+                let feasible = feasible.unwrap_or(0);
+                let cost = |key: &str| point.get(key).and_then(Json::as_num);
+                for key in ["mean_start_cost", "mean_refined_cost"] {
+                    match point.get(key) {
+                        Some(Json::Null) if feasible == 0 => {}
+                        Some(Json::Num(_)) | Some(Json::Int(_)) if feasible > 0 => {}
+                        _ => errors.push(format!(
+                            "{at}.{key} must be a number iff feasible > 0 (else null)"
+                        )),
+                    }
+                }
+                if let (Some(start), Some(refined)) =
+                    (cost("mean_start_cost"), cost("mean_refined_cost"))
+                {
+                    if refined > start + 1e-9 {
+                        errors.push(format!("{at}: mean_refined_cost exceeds mean_start_cost"));
+                    }
+                }
+                match point.get("improved").and_then(Json::as_int) {
+                    Some(imp) if (0..=feasible).contains(&imp) => {}
+                    _ => errors.push(format!("{at}.improved must be an integer in [0, feasible]")),
+                }
+                if point.get("never_worse").and_then(Json::as_bool) != Some(true) {
+                    errors.push(format!("{at}.never_worse must be true"));
+                }
+                for key in ["mean_evals", "mean_accepted", "mean_lower_bound"] {
+                    if !point
+                        .get(key)
+                        .and_then(Json::as_num)
+                        .is_some_and(|v| v >= 0.0)
+                    {
+                        errors.push(format!("{at}.{key} must be a non-negative number"));
+                    }
+                }
+                match point.get("exact") {
+                    None => errors.push(format!("{at}.exact key missing")),
+                    Some(Json::Null) => {}
+                    Some(e) => {
+                        let solved = e.get("solved").and_then(Json::as_int);
+                        if solved.is_none_or(|s| s < 0) {
+                            errors
+                                .push(format!("{at}.exact.solved must be a non-negative integer"));
+                        }
+                        if e.get("optimal").and_then(Json::as_bool).is_none() {
+                            errors.push(format!("{at}.exact.optimal must be a boolean"));
+                        }
+                        for key in ["mean_cost", "max_gap_pct"] {
+                            match e.get(key) {
+                                Some(Json::Null) | Some(Json::Num(_)) | Some(Json::Int(_)) => {}
+                                _ => errors
+                                    .push(format!("{at}.exact.{key} must be a number or null")),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(timing) = doc.get("timing") {
+        if timing.get("workers").and_then(Json::as_int).unwrap_or(0) < 1 {
+            errors.push("timing.workers must be a positive integer".to_string());
+        }
+        for key in ["flatten_s", "run_s", "aggregate_s", "total_s"] {
+            if !timing
+                .get(key)
+                .and_then(Json::as_num)
+                .is_some_and(|v| v >= 0.0)
+            {
+                errors.push(format!("timing.{key} must be a non-negative number"));
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 fn validate_heur_row(row: &Json, i: usize, j: usize, errors: &mut Vec<String>) {
     let at = format!("results[{i}].heuristics[{j}]");
     if row.get("name").and_then(Json::as_str).is_none() {
@@ -879,6 +1078,108 @@ mod tests {
             errors.iter().any(|e| e.contains("demand_probe")),
             "{errors:?}"
         );
+    }
+
+    /// A minimal well-formed refine document (what `snsp-search`
+    /// renders; kept in sync by that crate's own round-trip tests).
+    fn refine_doc() -> String {
+        r#"{
+  "schema_version": 4,
+  "generator": "snsp-search 0.1.0",
+  "kind": "refine",
+  "campaign": "refine-ci",
+  "config": {
+    "seeds": 2,
+    "driver": "first-improvement",
+    "max_evals": 4096,
+    "top_k": 3,
+    "points": [
+      {"label": "hom N=8", "n_ops": 8, "alpha": 0.9, "homogeneous": true},
+      {"label": "het N=30", "n_ops": 30, "alpha": 0.9, "homogeneous": false}
+    ]
+  },
+  "results": [
+    {
+      "label": "hom N=8",
+      "runs": 2,
+      "feasible": 2,
+      "mean_start_cost": 16982.0,
+      "mean_refined_cost": 15096.0,
+      "improved": 1,
+      "never_worse": true,
+      "mean_evals": 120.0,
+      "mean_accepted": 2.5,
+      "exact": {"solved": 2, "optimal": true, "mean_cost": 15096.0, "max_gap_pct": 0.0},
+      "mean_lower_bound": 7548.0
+    },
+    {
+      "label": "het N=30",
+      "runs": 2,
+      "feasible": 2,
+      "mean_start_cost": 30192.0,
+      "mean_refined_cost": 28306.0,
+      "improved": 2,
+      "never_worse": true,
+      "mean_evals": 800.0,
+      "mean_accepted": 4.0,
+      "exact": null,
+      "mean_lower_bound": 15096.0
+    }
+  ]
+}"#
+        .to_string()
+    }
+
+    #[test]
+    fn refine_schema_accepts_well_formed_documents() {
+        validate_refine_report(&refine_doc()).expect("refine doc validates");
+    }
+
+    #[test]
+    fn refine_schema_rejects_regressions_and_cross_kind_files() {
+        // A v1 campaign report is not a refine report.
+        let errors = validate_refine_report(&rendered(false)).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("schema_version")));
+        assert!(errors.iter().any(|e| e.contains("kind")));
+        // Nor are serve (v2) and perf (v3) documents.
+        let errors = validate_refine_report(&serve_doc()).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("kind")), "{errors:?}");
+        let errors = validate_refine_report(&perf_doc()).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("kind")), "{errors:?}");
+        // A cost regression invalidates the document outright.
+        let broken = refine_doc().replacen("\"never_worse\": true", "\"never_worse\": false", 1);
+        let errors = validate_refine_report(&broken).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("never_worse")),
+            "{errors:?}"
+        );
+        // So does a refined mean above the starting mean.
+        let broken = refine_doc().replace(
+            "\"mean_refined_cost\": 15096.0",
+            "\"mean_refined_cost\": 17000.0",
+        );
+        let errors = validate_refine_report(&broken).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("exceeds mean_start_cost")),
+            "{errors:?}"
+        );
+        // A missing exact key (as opposed to an explicit null) is flagged.
+        let broken = refine_doc().replacen("\"exact\": null", "\"unrelated\": null", 1);
+        let errors = validate_refine_report(&broken).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("exact")), "{errors:?}");
+        // `improved` cannot exceed `feasible`.
+        let broken = refine_doc().replacen("\"improved\": 1", "\"improved\": 3", 1);
+        let errors = validate_refine_report(&broken).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("improved")), "{errors:?}");
+    }
+
+    #[test]
+    fn other_validators_reject_refine_documents() {
+        // Cross-kind sniffing must fail loudly in every direction.
+        let refine = refine_doc();
+        assert!(validate_report(&refine).is_err());
+        assert!(validate_serve_report(&refine).is_err());
+        assert!(validate_perf_report(&refine).is_err());
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   executes mappings and measures their achieved throughput;
 //! * [`sweep`](snsp_sweep) — parallel scenario-grid campaigns with
 //!   machine-readable, worker-count-independent JSON reports;
+//! * [`search`](snsp_search) — anytime local-search refinement: typed
+//!   neighborhood moves screened through the incremental demand engine,
+//!   greedy/annealing/portfolio drivers, and schema-v4 refinement
+//!   campaigns;
 //! * [`serve`](snsp_serve) — online multi-tenant serving: trace-driven
 //!   admission, incremental placement and eviction over one shared
 //!   elastic platform.
@@ -49,6 +53,7 @@
 pub use snsp_core as core;
 pub use snsp_engine as engine;
 pub use snsp_gen as gen;
+pub use snsp_search as search;
 pub use snsp_serve as serve;
 pub use snsp_solver as solver;
 pub use snsp_sweep as sweep;
@@ -71,6 +76,7 @@ pub mod prelude {
     };
     pub use snsp_core::object::{ObjectCatalog, ObjectType};
     pub use snsp_core::platform::{Catalog, Platform, ProcessorKind, Server};
+    pub use snsp_core::refine::{AnnealSchedule, RefineDriver, RefineOptions};
     pub use snsp_core::rewrite::{rewrite, RewriteStrategy};
     pub use snsp_core::tree::OperatorTree;
     pub use snsp_core::work::WorkModel;
@@ -78,6 +84,10 @@ pub mod prelude {
     pub use snsp_gen::{
         generate_trace, paper_instance, tenant_instance, trace_environment, Burst, ScenarioParams,
         Trace, TraceEvent, TraceParams, TreeShape,
+    };
+    pub use snsp_search::{
+        refine, refine_portfolio, run_refine_campaign, solve_refined_seeded, Budget,
+        RefineCampaign, RefineOutcome, RefinePoint, SearchState,
     };
     pub use snsp_serve::{
         run_serve_campaign, run_trace, LivePlatform, ServeCampaign, ServeConfig, ServePoint,
@@ -87,7 +97,7 @@ pub mod prelude {
         lower_bound, max_throughput_under_budget, solve_exact, BranchBoundConfig,
     };
     pub use snsp_sweep::{
-        run_campaign, validate_perf_report, validate_report, validate_serve_report, Campaign,
-        CampaignReport, PointSpec, ReferenceConfig,
+        run_campaign, validate_perf_report, validate_refine_report, validate_report,
+        validate_serve_report, Campaign, CampaignReport, PointSpec, ReferenceConfig,
     };
 }
