@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snsp_gen::{generate_trace, TraceParams};
-use snsp_serve::{run_trace, ServeConfig};
+use snsp_serve::{run_trace, run_trace_sharded, ServeConfig, ShardOptions};
 
 fn replay_config() -> ServeConfig {
     ServeConfig {
@@ -38,5 +38,25 @@ fn serve_replay(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, serve_replay);
+/// Sharded replay scaling: one dense trace, 4 tenant shards, swept over
+/// the per-tick replay-worker count. Worker count never changes results
+/// (the determinism tests pin that), so this isolates pure wall-clock
+/// scaling of the tick/barrier executor.
+fn sharded_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_sharded");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    let trace = generate_trace(&TraceParams::heavy(40.0, 0.8, 10.0), 7);
+    for workers in [1usize, 2, 4] {
+        let opts = ShardOptions { shards: 4, workers };
+        group.bench_with_input(BenchmarkId::new("workers", workers), &trace, |b, trace| {
+            b.iter(|| run_trace_sharded(trace, &replay_config(), &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, serve_replay, sharded_replay);
 criterion_main!(benches);

@@ -23,7 +23,7 @@
 //! updated *per operator* in O(degree + types-of-op) by
 //! [`GroupBuilder::probe_add`] / [`GroupBuilder::probe_undo`], against the
 //! immutable per-instance aggregates of
-//! [`InstanceIndex`](crate::index::InstanceIndex).
+//! [`InstanceIndex`].
 //!
 //! Invariants a session relies on (all probe users in this crate obey
 //! them; `debug_assert`s guard the cheap ones):
@@ -32,8 +32,9 @@
 //!   most recent un-undone [`probe_add`](GroupBuilder::probe_add), exactly
 //!   (scalars restored from snapshots, never re-derived, so rejected
 //!   probes leave no floating-point residue).
-//! * **Sessions do not span group merges** — [`merge_groups`]
-//!   (GroupBuilder::merge_groups) re-keys boundary traffic; a live session
+//! * **Sessions do not span group merges** —
+//!   [`merge_groups`](GroupBuilder::merge_groups) re-keys boundary
+//!   traffic; a live session
 //!   must be re-begun (`probe_reset` / `probe_load_group`) afterwards.
 //!   [`dissolve_group`](GroupBuilder::dissolve_group) *is* session-safe:
 //!   the dissolved group's pending traffic is forgotten, matching the

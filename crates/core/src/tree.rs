@@ -1,7 +1,7 @@
 //! The application model: a binary tree of operators (paper §2.1).
 //!
 //! Internal nodes are *operators*; leaves are *basic objects* drawn from an
-//! [`ObjectCatalog`](crate::object::ObjectCatalog). An operator has at most
+//! [`ObjectCatalog`]. An operator has at most
 //! two children counting both operator children and leaf objects
 //! (`|Leaf(i)| + |Ch(i)| ≤ 2`). Operators with at least one leaf child are
 //! called *al-operators* ("almost leaf").

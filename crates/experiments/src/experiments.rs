@@ -120,11 +120,33 @@ pub const GRID_IDS: &[&str] = &[
 
 /// The named trace grids behind the `serve` CLI subcommand and the CI
 /// `serve-smoke` job. `serve-ci` is a deliberately small fixed grid cheap
-/// enough to replay on every push.
+/// enough to replay on every push. The `sharded-*` grids route replay
+/// through the sharded tier (`sharded-ci` — small, 4 shards, the
+/// committed `BENCH_serve.json` artifact; `sharded-100k` — a ~10⁵-tenant
+/// stress trace over the dense 24-server environment, 16 shards).
 pub fn serve_grid(id: &str, seeds: u64) -> Option<snsp_serve::ServeCampaign> {
     use snsp_gen::{Burst, TraceParams};
     use snsp_serve::{ServeCampaign, ServePoint};
+    let shards = match id {
+        "sharded-ci" => 4,
+        "sharded-100k" => 16,
+        _ => 1,
+    };
     let points = match id {
+        "sharded-ci" => vec![
+            ServePoint::new("calm", TraceParams::poisson(0.6, 5.0, 20.0)),
+            ServePoint::new(
+                "flaky",
+                TraceParams::poisson(0.8, 5.0, 20.0).with_failures(0.1),
+            ),
+        ],
+        "sharded-100k" => vec![
+            ServePoint::new("100k", TraceParams::heavy(2000.0, 0.25, 50.0)),
+            ServePoint::new(
+                "100k-flaky",
+                TraceParams::heavy(2000.0, 0.25, 50.0).with_failures(0.2),
+            ),
+        ],
         "serve-ci" => vec![
             ServePoint::new("calm", TraceParams::poisson(0.3, 5.0, 20.0)),
             ServePoint::new(
@@ -165,11 +187,18 @@ pub fn serve_grid(id: &str, seeds: u64) -> Option<snsp_serve::ServeCampaign> {
             .collect(),
         _ => return None,
     };
-    Some(ServeCampaign::new(id, points, seeds))
+    Some(ServeCampaign::new(id, points, seeds).with_shards(shards, 1))
 }
 
 /// Every grid id accepted by [`serve_grid`].
-pub const SERVE_GRID_IDS: &[&str] = &["serve-ci", "poisson", "burst", "churn"];
+pub const SERVE_GRID_IDS: &[&str] = &[
+    "serve-ci",
+    "poisson",
+    "burst",
+    "churn",
+    "sharded-ci",
+    "sharded-100k",
+];
 
 /// Renders the service-metric table from a serve campaign report.
 pub fn serve_tables(report: &snsp_serve::ServeCampaignReport, title: &str) -> Vec<Table> {
@@ -187,6 +216,7 @@ pub fn serve_tables(report: &snsp_serve::ServeCampaignReport, title: &str) -> Ve
             "mean ∫cost dt",
             "mean util",
             "SLO viol.",
+            "admit p50/p99 µs",
         ],
     );
     for p in &report.points {
@@ -199,6 +229,7 @@ pub fn serve_tables(report: &snsp_serve::ServeCampaignReport, title: &str) -> Ve
             format!("{:.0}", p.mean_cost_integral),
             format!("{:.3}", p.mean_utilization),
             format!("{}/{}", p.slo_violations, p.slo_checks),
+            format!("{:.0}/{:.0}", p.admit_p50_us(), p.admit_p99_us()),
         ]);
     }
     vec![t]
@@ -725,8 +756,24 @@ mod tests {
             let campaign = serve_grid(id, 2).unwrap_or_else(|| panic!("{id} should build"));
             assert_eq!(campaign.id, *id);
             assert!(!campaign.points.is_empty());
+            let expected_shards = match *id {
+                "sharded-ci" => 4,
+                "sharded-100k" => 16,
+                _ => 1,
+            };
+            assert_eq!(campaign.shards, expected_shards, "{id}");
         }
         assert!(serve_grid("nope", 2).is_none());
+    }
+
+    #[test]
+    fn sharded_ci_grid_replays_and_validates() {
+        let campaign = serve_grid("sharded-ci", 1).unwrap().with_shards(4, 2);
+        let report = snsp_serve::run_serve_campaign(&campaign);
+        assert!(report.points.iter().any(|p| p.admitted > 0));
+        snsp_sweep::validate_serve_report(&report.render_json(true)).expect("v3 validates");
+        let tables = serve_tables(&report, "sharded-ci");
+        assert_eq!(tables[0].rows.len(), campaign.points.len());
     }
 
     #[test]

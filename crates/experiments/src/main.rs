@@ -14,12 +14,15 @@
 //!   identical at every worker count; --reference adds a branch-and-bound
 //!   column on small points.
 //!
-//! snsp-experiments serve --grid <serve-ci|poisson|burst|churn>
-//!                        [--seeds K] [--workers W] [--json PATH]
-//!                        [--stable-json] [--out DIR]
+//! snsp-experiments serve --grid <serve-ci|poisson|burst|churn|sharded-ci|sharded-100k>
+//!                        [--seeds K] [--workers W] [--replay-workers R]
+//!                        [--json PATH] [--stable-json] [--out DIR]
 //!   Replays the trace grid as one parallel online-serving campaign and
-//!   writes BENCH_serve.json (schema v2, byte-identical at any worker
-//!   count in --stable-json form).
+//!   writes BENCH_serve.json (schema v3 with admission-latency p50/p99
+//!   columns, byte-identical at any worker count in --stable-json form).
+//!   The sharded-* grids replay through the sharded tier;
+//!   --replay-workers sets the per-replay tick-batch worker count
+//!   (wall-clock only — never results).
 //!
 //! snsp-experiments perf --grid <ci|large-n> [--seeds K] [--json PATH]
 //!                       [--out DIR]
@@ -36,8 +39,8 @@
 //!   grid carries an exact branch-and-bound reference column).
 //!
 //! snsp-experiments validate <PATH>
-//!   Schema-checks a BENCH_sweep.json (v1), BENCH_serve.json (v2),
-//!   BENCH_perf.json (v3) or BENCH_refine.json (v4) — the kinded
+//!   Schema-checks a BENCH_sweep.json (v1), BENCH_serve.json (v3, v2
+//!   accepted), BENCH_perf.json (v3) or BENCH_refine.json (v4) — the kinded
 //!   documents sniffed via their "kind" discriminator; exits non-zero on
 //!   violations (cross-kind files are rejected with the mismatching
 //!   fields spelled out).
@@ -63,6 +66,7 @@ struct Args {
     seeds: u64,
     out_dir: PathBuf,
     workers: Option<usize>,
+    replay_workers: Option<usize>,
     grid: Option<String>,
     json: Option<PathBuf>,
     stable_json: bool,
@@ -78,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         seeds: 10,
         out_dir: PathBuf::from("results"),
         workers: None,
+        replay_workers: None,
         grid: None,
         json: None,
         stable_json: false,
@@ -110,6 +115,14 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or("--workers needs a positive integer")?,
                 );
             }
+            "--replay-workers" => {
+                parsed.replay_workers = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&w| w >= 1)
+                        .ok_or("--replay-workers needs a positive integer")?,
+                );
+            }
             "--grid" => {
                 parsed.grid = Some(args.next().ok_or("--grid needs a grid id")?);
             }
@@ -130,7 +143,7 @@ fn usage() -> String {
      \u{20}      snsp-experiments sweep --grid <ID> [--seeds K] [--workers W] [--reference] \
      [--json PATH] [--stable-json] [--out DIR]\n\
      \u{20}      snsp-experiments serve --grid <ID> [--seeds K] [--workers W] \
-     [--json PATH] [--stable-json] [--out DIR]\n\
+     [--replay-workers R] [--json PATH] [--stable-json] [--out DIR]\n\
      \u{20}      snsp-experiments perf --grid <ci|large-n> [--seeds K] [--json PATH] [--out DIR]\n\
      \u{20}      snsp-experiments refine --grid <ci|fig2|large-n> [--seeds K] [--workers W] \
      [--json PATH] [--stable-json] [--out DIR]\n\
@@ -234,6 +247,10 @@ fn run_serve(args: &Args) -> Result<(), String> {
     if let Some(w) = args.workers {
         campaign = campaign.with_workers(w);
     }
+    if let Some(r) = args.replay_workers {
+        let shards = campaign.shards;
+        campaign = campaign.with_shards(shards, r);
+    }
 
     let report = run_serve_campaign(&campaign);
     let tables = experiments::serve_tables(&report, &format!("serve campaign {grid_id}"));
@@ -316,7 +333,10 @@ fn run_validate(path: &PathBuf) -> Result<(), String> {
             .map(str::to_string)
     });
     let (label, outcome) = match kind.as_deref() {
-        Some("serve") => ("BENCH_serve.json (schema v2)", validate_serve_report(&body)),
+        Some("serve") => (
+            "BENCH_serve.json (schema v2/v3)",
+            validate_serve_report(&body),
+        ),
         Some("perf") => ("BENCH_perf.json (schema v3)", validate_perf_report(&body)),
         Some("refine") => (
             "BENCH_refine.json (schema v4)",

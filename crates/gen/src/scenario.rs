@@ -37,7 +37,10 @@ pub fn generate_objects<R: Rng + ?Sized>(params: &ScenarioParams, rng: &mut R) -
 /// servers with the scenario's replication range.
 pub fn generate_platform<R: Rng + ?Sized>(params: &ScenarioParams, rng: &mut R) -> Platform {
     let mut platform = Platform::paper(params.n_types);
-    platform.servers.truncate(params.n_servers);
+    // The paper's platform has 6 servers; dense serving environments
+    // scale out with identical cards.
+    let template = platform.servers[0];
+    platform.servers.resize(params.n_servers, template);
     assert!(
         params.max_replicas <= params.n_servers,
         "cannot place more replicas than servers"

@@ -7,15 +7,25 @@
 //! aggregation runs in grid order, so the **stable** JSON rendering is
 //! byte-identical at any worker count — the same contract CI's
 //! bench-snapshot job enforces for offline campaigns, extended to the
-//! online subsystem as schema v2 (`BENCH_serve.json`,
+//! online subsystem as schema v3 (`BENCH_serve.json`,
 //! [`validate_serve_report`](snsp_sweep::validate_serve_report)).
+//!
+//! Campaigns can replay through the sharded tier
+//! ([`with_shards`](ServeCampaign::with_shards)): each trace then runs
+//! on [`run_trace_sharded`] with its
+//! own replay-worker pool, and the config echo records both knobs.
+//! Admission latencies (wall-clock, per successful admission) aggregate
+//! into nearest-rank p50/p99 columns; being timings, they render as
+//! `null` in the stable form and as full sample statistics in the timed
+//! form.
 
 use std::time::Instant;
 
 use snsp_gen::{generate_trace, TraceParams};
 use snsp_sweep::{run_jobs, Json, PhaseTiming};
 
-use crate::report::TraceReport;
+use crate::report::{percentile, TraceReport};
+use crate::shard::{run_trace_sharded, ShardOptions};
 use crate::sim::{run_trace, ServeConfig};
 
 /// One labelled trace scenario.
@@ -49,6 +59,13 @@ pub struct ServeCampaign {
     pub config: ServeConfig,
     /// Worker threads; `None` uses available parallelism.
     pub workers: Option<usize>,
+    /// Tenant shards per replay; 1 uses the unsharded
+    /// [`run_trace`] path, >1 replays through
+    /// [`run_trace_sharded`].
+    pub shards: usize,
+    /// Worker threads driving each sharded replay's per-tick batches
+    /// (ignored when `shards == 1`).
+    pub replay_workers: usize,
 }
 
 impl ServeCampaign {
@@ -60,6 +77,8 @@ impl ServeCampaign {
             seeds,
             config: ServeConfig::default(),
             workers: None,
+            shards: 1,
+            replay_workers: 1,
         }
     }
 
@@ -72,6 +91,17 @@ impl ServeCampaign {
     /// Pins the worker count (clamped to at least 1, as in `Campaign`).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Routes every replay through the sharded tier: `shards` tenant
+    /// shards, each replay driving its tick batches with
+    /// `replay_workers` threads (both clamped to at least 1). Shard
+    /// count changes packing (it is part of the scenario); replay
+    /// workers never change results.
+    pub fn with_shards(mut self, shards: usize, replay_workers: usize) -> Self {
+        self.shards = shards.max(1);
+        self.replay_workers = replay_workers.max(1);
         self
     }
 
@@ -117,6 +147,9 @@ pub struct ServePointReport {
     pub peak_procs: usize,
     /// Per-seed log digests folded in seed order (the replay fingerprint).
     pub log_hash: u64,
+    /// Admission-latency samples pooled across the point's replays (µs,
+    /// wall-clock — excluded from stable output).
+    pub admit_latencies_us: Vec<f64>,
 }
 
 impl ServePointReport {
@@ -127,6 +160,18 @@ impl ServePointReport {
         } else {
             self.admitted as f64 / self.arrivals as f64
         }
+    }
+
+    /// Median admission latency over the pooled samples (µs,
+    /// nearest-rank; 0 with no admissions).
+    pub fn admit_p50_us(&self) -> f64 {
+        percentile(&self.admit_latencies_us, 50.0)
+    }
+
+    /// 99th-percentile admission latency over the pooled samples (µs,
+    /// nearest-rank; 0 with no admissions).
+    pub fn admit_p99_us(&self) -> f64 {
+        percentile(&self.admit_latencies_us, 99.0)
     }
 
     fn from_runs(label: &str, runs: &[TraceReport]) -> Self {
@@ -153,10 +198,31 @@ impl ServePointReport {
             mean_final_cost: runs.iter().map(|r| r.final_cost as f64).sum::<f64>() / n,
             peak_procs: runs.iter().map(|r| r.peak_procs).max().unwrap_or(0),
             log_hash: hash,
+            admit_latencies_us: runs
+                .iter()
+                .flat_map(|r| r.admit_latencies_us.iter().copied())
+                .collect(),
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// Renders one results row. `include_timing = false` is the stable
+    /// form: wall-clock admission latencies vary run to run, so the
+    /// `admit_latency` column degrades to `null` there and only carries
+    /// the sample statistics in the timed form.
+    fn to_json(&self, include_timing: bool) -> Json {
+        let admit_latency = if include_timing && !self.admit_latencies_us.is_empty() {
+            Json::obj(vec![
+                ("samples", Json::Int(self.admit_latencies_us.len() as i64)),
+                ("p50_us", Json::Num(self.admit_p50_us())),
+                ("p99_us", Json::Num(self.admit_p99_us())),
+                (
+                    "max_us",
+                    Json::Num(self.admit_latencies_us.iter().copied().fold(0.0, f64::max)),
+                ),
+            ])
+        } else {
+            Json::Null
+        };
         Json::obj(vec![
             ("label", Json::Str(self.label.clone())),
             ("traces", Json::Int(self.traces as i64)),
@@ -173,6 +239,7 @@ impl ServePointReport {
             ("peak_procs", Json::Int(self.peak_procs as i64)),
             ("slo_checks", Json::Int(self.slo_checks as i64)),
             ("slo_violations", Json::Int(self.slo_violations as i64)),
+            ("admit_latency", admit_latency),
             ("log_hash", Json::Str(format!("{:016x}", self.log_hash))),
         ])
     }
@@ -187,6 +254,11 @@ pub struct ServeCampaignReport {
     pub seeds: u64,
     /// SLO bar echoed from the config.
     pub slo_frac: f64,
+    /// Tenant shards per replay, echoed from the campaign.
+    pub shards: usize,
+    /// Replay workers per sharded replay, echoed from the campaign
+    /// (wall-clock-only; part of the timed output, not the stable form).
+    pub replay_workers: usize,
     /// The scenario grid, echoed for reproducibility.
     pub config_points: Vec<ServePoint>,
     /// Per-point results, in grid order.
@@ -196,8 +268,10 @@ pub struct ServeCampaignReport {
 }
 
 impl ServeCampaignReport {
-    /// Serializes schema v2. With `include_timing = false` the output is
-    /// the *stable* form: byte-identical at every worker count.
+    /// Serializes schema v3. With `include_timing = false` the output is
+    /// the *stable* form: byte-identical at every worker count (campaign
+    /// workers and replay workers alike), with the wall-clock
+    /// `admit_latency` column rendered as `null`.
     pub fn to_json(&self, include_timing: bool) -> Json {
         let mut pairs = vec![
             (
@@ -215,6 +289,7 @@ impl ServeCampaignReport {
                 Json::obj(vec![
                     ("seeds", Json::Int(self.seeds as i64)),
                     ("slo_frac", Json::Num(self.slo_frac)),
+                    ("shards", Json::Int(self.shards as i64)),
                     (
                         "points",
                         Json::Arr(self.config_points.iter().map(point_config_json).collect()),
@@ -223,7 +298,12 @@ impl ServeCampaignReport {
             ),
             (
                 "results",
-                Json::Arr(self.points.iter().map(|p| p.to_json()).collect()),
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| p.to_json(include_timing))
+                        .collect(),
+                ),
             ),
         ];
         if include_timing {
@@ -232,6 +312,7 @@ impl ServeCampaignReport {
                     "timing",
                     Json::obj(vec![
                         ("workers", Json::Int(t.workers as i64)),
+                        ("replay_workers", Json::Int(self.replay_workers as i64)),
                         ("jobs", Json::Int(t.jobs as i64)),
                         ("flatten_s", Json::Num(t.flatten_s)),
                         ("run_s", Json::Num(t.run_s)),
@@ -299,11 +380,19 @@ pub fn run_serve_campaign(campaign: &ServeCampaign) -> ServeCampaignReport {
     let flatten_s = t0.elapsed().as_secs_f64();
 
     let t_run = Instant::now();
+    let shard_opts = ShardOptions {
+        shards: campaign.shards.max(1),
+        workers: campaign.replay_workers.max(1),
+    };
     let runs: Vec<TraceReport> = run_jobs(total_jobs, workers, |job| {
         let point = &campaign.points[job / n_seeds];
         let seed = (job % n_seeds) as u64;
         let trace = generate_trace(&point.params, seed);
-        run_trace(&trace, &campaign.config)
+        if shard_opts.shards > 1 {
+            run_trace_sharded(&trace, &campaign.config, &shard_opts)
+        } else {
+            run_trace(&trace, &campaign.config)
+        }
     });
     let run_s = t_run.elapsed().as_secs_f64();
 
@@ -322,6 +411,8 @@ pub fn run_serve_campaign(campaign: &ServeCampaign) -> ServeCampaignReport {
         campaign: campaign.id.clone(),
         seeds: campaign.seeds,
         slo_frac: campaign.config.slo_frac,
+        shards: shard_opts.shards,
+        replay_workers: shard_opts.workers,
         config_points: campaign.points.clone(),
         points,
         timing: Some(PhaseTiming {
@@ -380,5 +471,47 @@ mod tests {
     fn zero_workers_clamps_to_serial() {
         let campaign = small_campaign(0);
         assert_eq!(campaign.workers, Some(1));
+    }
+
+    #[test]
+    fn latency_percentiles_surface_in_timed_output_only() {
+        let report = run_serve_campaign(&small_campaign(1));
+        let timed = report.render_json(true);
+        let stable = report.render_json(false);
+        assert!(timed.contains("\"p50_us\""));
+        assert!(timed.contains("\"p99_us\""));
+        assert!(
+            stable.contains("\"admit_latency\": null"),
+            "stable form must not carry wall-clock samples"
+        );
+        for p in &report.points {
+            if p.admitted > 0 {
+                assert_eq!(p.admit_latencies_us.len(), p.admitted);
+                assert!(p.admit_p50_us() > 0.0);
+                assert!(p.admit_p99_us() >= p.admit_p50_us());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_campaign_is_stable_across_both_worker_axes() {
+        let base = run_serve_campaign(&small_campaign(1).with_shards(2, 1));
+        for (workers, replay_workers) in [(2usize, 1usize), (1, 4), (4, 2)] {
+            let campaign = small_campaign(workers).with_shards(2, replay_workers);
+            let other = run_serve_campaign(&campaign);
+            assert_eq!(
+                base.render_json(false),
+                other.render_json(false),
+                "{workers} campaign × {replay_workers} replay workers diverged"
+            );
+        }
+        snsp_sweep::validate_serve_report(&base.render_json(false)).expect("schema v3 validates");
+    }
+
+    #[test]
+    fn shard_count_is_echoed_in_config() {
+        let report = run_serve_campaign(&small_campaign(1).with_shards(2, 2));
+        assert_eq!(report.shards, 2);
+        assert!(report.render_json(false).contains("\"shards\": 2"));
     }
 }

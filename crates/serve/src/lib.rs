@@ -23,9 +23,14 @@
 //!   [`TraceReport`]: admission rate, `∫ cost dt`, utilization, SLO
 //!   violations spot-validated by running `snsp_engine` on per-tenant
 //!   projections of the platform snapshot.
+//! * [`ShardedPlatform`] / [`run_trace_sharded`] — the scale-out tier:
+//!   tenants hash to shards that own disjoint processor pools, per-tick
+//!   batches replay in parallel on `snsp-sweep`'s pool, and cross-shard
+//!   effects travel as [`ShardMsg`]s folded deterministically at tick
+//!   barriers — same event log at any worker count.
 //! * [`ServeCampaign`] / [`run_serve_campaign`] — whole trace grids on
-//!   `snsp-sweep`'s pool, with schema-v2 JSON that is byte-identical at
-//!   any worker count
+//!   `snsp-sweep`'s pool, with schema-v3 JSON (admission-latency p50/p99
+//!   columns) whose stable form is byte-identical at any worker count
 //!   ([`validate_serve_report`](snsp_sweep::validate_serve_report)).
 //!
 //! ```
@@ -39,9 +44,12 @@
 //! assert!(report.cost_time_integral >= 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod campaign;
 pub mod platform;
 pub mod report;
+pub mod shard;
 pub mod sim;
 
 pub use campaign::{
@@ -50,5 +58,9 @@ pub use campaign::{
 pub use platform::{
     AdmitError, AdmitOutcome, FailOutcome, LivePlatform, Tenant, DEFAULT_DEPART_EVALS,
 };
-pub use report::TraceReport;
+pub use report::{percentile, TraceReport};
+pub use shard::{
+    replay_trace_sharded, run_trace_sharded, shard_of, ShardMsg, ShardMsgKind, ShardOptions,
+    ShardedPlatform,
+};
 pub use sim::{run_trace, ServeConfig};

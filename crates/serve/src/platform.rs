@@ -2,7 +2,7 @@
 //! streams, and the incremental operations that mutate them.
 //!
 //! A [`LivePlatform`] is the online counterpart of an offline
-//! [`MultiSolution`](snsp_core::multi::MultiSolution): processors are
+//! [`MultiSolution`]: processors are
 //! bought lazily as tenants arrive, shared aggressively (an arriving
 //! tree is first packed onto already-purchased machines, reusing the
 //! [`shared_demand`] calculus and the [`DownloadLedger`] from
@@ -175,6 +175,19 @@ impl LivePlatform {
     /// Aggregate CPU utilization: total demanded Gop/s over total
     /// purchased Gop/s (0 when no processor is live).
     pub fn utilization(&self) -> f64 {
+        let (used, speed) = self.cpu_load();
+        if speed > 0.0 {
+            used / speed
+        } else {
+            0.0
+        }
+    }
+
+    /// The two sides of [`utilization`](Self::utilization) separately:
+    /// `(demanded Gop/s, purchased Gop/s)`. Sharded replay needs the raw
+    /// pair because a ratio of sums cannot be rebuilt from per-shard
+    /// ratios.
+    pub fn cpu_load(&self) -> (f64, f64) {
         let mut used = 0.0;
         for t in self.tenants.values() {
             for op in t.inst.tree.ops() {
@@ -187,11 +200,7 @@ impl LivePlatform {
             .flatten()
             .map(|&k| self.platform.catalog.kind(k).speed)
             .sum();
-        if speed > 0.0 {
-            used / speed
-        } else {
-            0.0
-        }
+        (used, speed)
     }
 
     /// Operators each tenant keeps on slot `u`, ascending tenant id.
@@ -523,12 +532,23 @@ impl LivePlatform {
     /// fit nowhere.
     pub fn fail(&mut self, lottery: u64) -> FailOutcome {
         let live = self.live_slots();
-        let mut out = FailOutcome::default();
         if live.is_empty() {
-            return out;
+            return FailOutcome::default();
         }
-        let victim = live[(lottery % live.len() as u64) as usize];
-        out.victim = Some(ProcId::from(victim));
+        self.fail_slot(live[(lottery % live.len() as u64) as usize])
+    }
+
+    /// [`fail`](Self::fail) with the victim chosen by the caller: kills
+    /// live slot `victim` directly. Sharded replay resolves the global
+    /// failure lottery over every shard's live slots at a tick barrier and
+    /// then targets the victim shard's slot through this entry point.
+    /// Panics if `victim` is not a live slot.
+    pub fn fail_slot(&mut self, victim: usize) -> FailOutcome {
+        assert!(self.slots[victim].is_some(), "slot {victim} is not live");
+        let mut out = FailOutcome {
+            victim: Some(ProcId::from(victim)),
+            ..Default::default()
+        };
 
         // The machine is gone: its streams release server/link capacity.
         for d in self.ledger.downloads_of(ProcId::from(victim)) {

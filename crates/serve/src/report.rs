@@ -43,6 +43,12 @@ pub struct TraceReport {
     pub mean_utilization: f64,
     /// Deterministic event log, one line per effective event.
     pub log: Vec<String>,
+    /// Wall-clock admission latencies in microseconds, one sample per
+    /// successful admission, in replay order. **Not** part of the
+    /// determinism contract: timings vary run to run, so stable JSON
+    /// renderings must omit them (campaign reports render
+    /// `admit_latency: null` in stable form).
+    pub admit_latencies_us: Vec<f64>,
 }
 
 impl TraceReport {
@@ -64,6 +70,19 @@ impl TraceReport {
         }
         h
     }
+}
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) of a sample set; sorts a
+/// copy, so callers can pass raw latency vectors. Returns 0 for an
+/// empty set.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 #[cfg(test)]
@@ -89,6 +108,19 @@ mod tests {
         // "a" → 0xaf63dc4c8601ec8c.
         assert_eq!(fnv1a(FNV_OFFSET, []), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(FNV_OFFSET, *b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        // Unsorted input is handled.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0);
     }
 
     #[test]

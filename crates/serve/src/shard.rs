@@ -1,0 +1,790 @@
+//! The sharded serve tier: tenant-partitioned live platforms with
+//! parallel trace replay.
+//!
+//! A single [`LivePlatform`] serializes
+//! every admission, departure and failure through one mutable structure,
+//! so replay is single-threaded no matter how many cores exist. This
+//! module partitions that state the way Noria shards its dataflow: the
+//! common case never takes a global lock.
+//!
+//! * **Tenants hash to a shard** ([`shard_of`], a pure FNV-1a routing
+//!   function), and a tenant's whole lifetime — admission, packing,
+//!   departure, consolidation — runs against that shard's private
+//!   [`LivePlatform`]: its own purchased slot table, its own
+//!   [`DownloadLedger`](snsp_core::multi::DownloadLedger), its own
+//!   consolidation scratch.
+//! * **The platform is statically partitioned.** Processor pools are
+//!   disjoint by construction (each shard buys its own machines) and
+//!   every processor-to-processor edge of one tenant stays inside one
+//!   shard, so per-link bandwidths keep their full value. The only
+//!   genuinely shared resource is each data server's NIC total, which is
+//!   split evenly: a shard sees `Bs_l / shards` of every server card.
+//!   One shard is therefore *identical* to the unsharded platform.
+//! * **Cross-shard effects are messages, resolved at tick barriers.**
+//!   Shards never read each other's state. During a tick every shard
+//!   replays its private event batch in parallel (on the same
+//!   work-stealing pool as offline campaigns) and emits [`ShardMsg`]s —
+//!   buys, reclamations, admissions, rejections. At the barrier the
+//!   coordinator folds the messages in `(time, shard, seq)` order into
+//!   the global accounting (cost integral, utilization, peaks, the event
+//!   log), and resolves the events that need a global view: a
+//!   [`ProcessorFail`](snsp_gen::TraceEvent::ProcessorFail) lottery is
+//!   drawn over the concatenation of every shard's live slots, then
+//!   targeted at the victim shard
+//!   ([`fail_slot`](crate::platform::LivePlatform::fail_slot)), whose
+//!   evictions come back as [`ShardMsg`]s.
+//!
+//! Because message folding is a pure function of the trace — never of
+//! thread interleaving — the replay is **byte-identical at any worker
+//! count**: same event log, same fingerprints, same final snapshots.
+//! Changing the *shard count* is a semantic configuration change (it
+//! moves tenants between pools), like changing a grid point; the
+//! determinism contract holds per shard count.
+//!
+//! ```
+//! use snsp_gen::{generate_trace, TraceParams};
+//! use snsp_serve::{run_trace_sharded, ServeConfig, ShardOptions};
+//!
+//! let trace = generate_trace(&TraceParams::poisson(0.4, 4.0, 15.0), 7);
+//! let opts = ShardOptions { shards: 2, workers: 2 };
+//! let a = run_trace_sharded(&trace, &ServeConfig::default(), &opts);
+//! let b = run_trace_sharded(&trace, &ServeConfig::default(), &opts);
+//! assert_eq!(a.log, b.log); // deterministic replay, sharded or not
+//! assert_eq!(a.admitted + a.rejected, a.arrivals);
+//! ```
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use snsp_core::ids::TenantId;
+use snsp_core::multi::{MultiInstance, MultiSolution};
+use snsp_core::object::ObjectCatalog;
+use snsp_core::platform::Platform;
+use snsp_gen::{tenant_instance, trace_environment, TenantSpec, TimedEvent, Trace, TraceEvent};
+use snsp_sweep::{run_jobs, PIPELINE_SEED_STRIDE};
+
+use crate::platform::{AdmitError, AdmitOutcome, LivePlatform};
+use crate::report::{fnv1a, TraceReport, FNV_OFFSET};
+use crate::sim::{validate_residents, ServeConfig};
+
+/// How a sharded replay is partitioned and driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardOptions {
+    /// Number of tenant shards (clamped to at least 1). One shard is
+    /// semantically identical to the unsharded [`LivePlatform`] path.
+    pub shards: usize,
+    /// Worker threads driving the per-tick shard batches (clamped to at
+    /// least 1). Affects wall-clock only — never results.
+    pub workers: usize,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions {
+            shards: 1,
+            workers: 1,
+        }
+    }
+}
+
+impl ShardOptions {
+    /// Options with both fields clamped to at least 1.
+    pub fn clamped(&self) -> Self {
+        ShardOptions {
+            shards: self.shards.max(1),
+            workers: self.workers.max(1),
+        }
+    }
+}
+
+/// Routes a tenant to its shard: FNV-1a over the tenant id, modulo the
+/// shard count. Pure and stable — the same tenant lands on the same
+/// shard in every replay of every trace.
+pub fn shard_of(tenant: TenantId, shards: usize) -> usize {
+    (fnv1a(FNV_OFFSET, tenant.0.to_be_bytes()) % shards.max(1) as u64) as usize
+}
+
+/// What one shard tells the coordinator about one committed event — the
+/// cross-shard half of the protocol.
+///
+/// Shards share no mutable state; everything with a global meaning
+/// (platform spend, live-processor totals for failure lotteries,
+/// eviction counts, the merged event log) is reconstructed by folding
+/// these messages at tick barriers in `(time, shard, seq)` order.
+#[derive(Debug, Clone)]
+pub enum ShardMsgKind {
+    /// An admission committed: `new_procs` machines bought (a cross-shard
+    /// *buy* visible to the global ledger), `reused_procs` reused.
+    Admitted {
+        /// Machines bought for this tenant.
+        new_procs: usize,
+        /// Already-owned machines the tenant was packed onto.
+        reused_procs: usize,
+    },
+    /// An arrival was refused; no state changed.
+    Rejected,
+    /// A tenant departed; machines and streams were reclaimed.
+    Departed,
+    /// A failure barrier evicted this tenant from the shard (the
+    /// cross-shard *evict* notification).
+    Evicted {
+        /// The evicted tenant.
+        tenant: TenantId,
+    },
+    /// A processor failure was resolved against this shard.
+    Failed {
+        /// Tenants whose displaced blocks were re-mapped in-shard.
+        remapped: usize,
+        /// Tenants evicted (also reported individually as
+        /// [`ShardMsgKind::Evicted`]).
+        evicted: usize,
+    },
+    /// Engine spot-validation ran on this shard's residents.
+    SloChecked {
+        /// Projections validated.
+        checks: usize,
+        /// Projections below the SLO bar.
+        violations: usize,
+    },
+}
+
+/// One message from a shard to the coordinator: the event kind plus the
+/// shard's accounting snapshot *after* the event, stamped for
+/// deterministic folding.
+#[derive(Debug, Clone)]
+pub struct ShardMsg {
+    /// Trace time of the event.
+    pub time: f64,
+    /// Originating shard.
+    pub shard: usize,
+    /// Per-shard, per-tick sequence number (tie-break for equal times).
+    pub seq: u32,
+    /// What happened.
+    pub kind: ShardMsgKind,
+    /// Shard platform cost after the event, in dollars.
+    pub cost: u64,
+    /// Shard live-processor count after the event.
+    pub procs: usize,
+    /// Shard demanded Gop/s after the event.
+    pub used: f64,
+    /// Shard purchased Gop/s after the event.
+    pub speed: f64,
+    /// Event-log line(s), `\n`-separated; empty for pure notifications.
+    pub line: String,
+}
+
+/// A tenant-partitioned set of [`LivePlatform`]s over one shared trace
+/// environment.
+///
+/// Construction splits each data server's NIC bandwidth evenly across
+/// the shards (the only cross-shard-shared resource; see the module
+/// docs); every other capacity keeps its full value. With `shards == 1`
+/// the single shard is bit-identical to the unsharded platform.
+#[derive(Debug, Clone)]
+pub struct ShardedPlatform {
+    shards: Vec<LivePlatform>,
+}
+
+impl ShardedPlatform {
+    /// Partitions `platform` into `shards` (clamped to at least 1)
+    /// private live platforms.
+    pub fn new(objects: ObjectCatalog, platform: Platform, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut view = platform;
+        for server in &mut view.servers {
+            server.nic_bandwidth /= shards as f64;
+        }
+        ShardedPlatform {
+            shards: (0..shards)
+                .map(|_| LivePlatform::new(objects.clone(), view.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's live platform.
+    pub fn shard(&self, s: usize) -> &LivePlatform {
+        &self.shards[s]
+    }
+
+    /// The shard `tenant` routes to.
+    pub fn route(&self, tenant: TenantId) -> usize {
+        shard_of(tenant, self.shards.len())
+    }
+
+    /// Total platform cost across shards, in dollars.
+    pub fn cost(&self) -> u64 {
+        self.shards.iter().map(LivePlatform::cost).sum()
+    }
+
+    /// Total live processors across shards.
+    pub fn proc_count(&self) -> usize {
+        self.shards.iter().map(LivePlatform::proc_count).sum()
+    }
+
+    /// Total resident tenants across shards.
+    pub fn tenant_count(&self) -> usize {
+        self.shards.iter().map(LivePlatform::tenant_count).sum()
+    }
+
+    /// Admits `id` on its home shard, generating the tenant's instance
+    /// against that shard's partitioned platform view.
+    pub fn admit_spec(
+        &mut self,
+        id: TenantId,
+        spec: &TenantSpec,
+        heuristic: &dyn snsp_core::heuristics::Heuristic,
+        seed: u64,
+        opts: &snsp_core::heuristics::PipelineOptions,
+    ) -> Result<AdmitOutcome, AdmitError> {
+        let s = self.route(id);
+        let shard = &mut self.shards[s];
+        let inst = tenant_instance(shard.objects(), shard.platform(), spec);
+        shard.admit(id, inst, heuristic, seed, opts)
+    }
+
+    /// Departs `id` from its home shard. `false` if not resident.
+    pub fn depart(&mut self, id: TenantId) -> bool {
+        let s = self.route(id);
+        self.shards[s].depart(id)
+    }
+
+    /// Resolves a global failure lottery: the victim is drawn over the
+    /// concatenation of every shard's live slots (in shard order) and the
+    /// failure is executed on the owning shard. Returns the victim shard
+    /// and its [`FailOutcome`](crate::platform::FailOutcome); `None` when
+    /// no processor is live anywhere.
+    pub fn fail(&mut self, lottery: u64) -> Option<(usize, crate::platform::FailOutcome)> {
+        let total: usize = self.shards.iter().map(LivePlatform::proc_count).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut idx = (lottery % total as u64) as usize;
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let live = shard.proc_count();
+            if idx < live {
+                let victim = shard.live_slots()[idx];
+                return Some((s, shard.fail_slot(victim)));
+            }
+            idx -= live;
+        }
+        unreachable!("lottery index within total live count")
+    }
+
+    /// Per-shard offline snapshots, in shard order (see
+    /// [`LivePlatform::snapshot`]).
+    #[allow(clippy::type_complexity)]
+    pub fn snapshots(&self) -> Vec<Option<(MultiInstance, MultiSolution)>> {
+        self.shards.iter().map(LivePlatform::snapshot).collect()
+    }
+
+    /// A structural FNV-1a fingerprint of the final state: per shard (in
+    /// shard order) the cost, purchased kinds, resident tenants with
+    /// their full assignments, and the sorted download set. Two platforms
+    /// fingerprint equal iff their compacted snapshots are identical.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for (s, shard) in self.shards.iter().enumerate() {
+            let mut text = format!("shard {s} cost {}", shard.cost());
+            if let Some((_, sol)) = shard.snapshot() {
+                text.push_str(&format!(" kinds {:?}", sol.proc_kinds));
+                for (id, assignment) in shard.tenant_ids().iter().zip(&sol.assignments) {
+                    text.push_str(&format!(" t{id} {assignment:?}"));
+                }
+                text.push_str(&format!(" downloads {:?}", sol.downloads));
+            }
+            h = fnv1a(h, text.bytes().chain([b'\n']));
+        }
+        h
+    }
+}
+
+/// One shard's private slice of a tick: the events it must replay, in
+/// trace order.
+#[derive(Default)]
+struct ShardBatch {
+    events: Vec<TimedEvent>,
+}
+
+/// Folds [`ShardMsg`]s into the global, piecewise-constant accounting:
+/// cost and utilization integrals, peaks, and the merged event log.
+struct Coordinator {
+    last_t: f64,
+    cost: Vec<u64>,
+    procs: Vec<usize>,
+    used: Vec<f64>,
+    speed: Vec<f64>,
+    report: TraceReport,
+}
+
+impl Coordinator {
+    fn new(shards: usize) -> Self {
+        Coordinator {
+            last_t: 0.0,
+            cost: vec![0; shards],
+            procs: vec![0; shards],
+            used: vec![0.0; shards],
+            speed: vec![0.0; shards],
+            report: TraceReport::default(),
+        }
+    }
+
+    /// Integrates the current global totals up to `to`.
+    fn advance(&mut self, to: f64) {
+        let dt = to - self.last_t;
+        let cost: u64 = self.cost.iter().sum();
+        let speed: f64 = self.speed.iter().sum();
+        let used: f64 = self.used.iter().sum();
+        self.report.cost_time_integral += cost as f64 * dt;
+        if speed > 0.0 {
+            self.report.mean_utilization += used / speed * dt; // re-normalized at the end
+        }
+        self.last_t = to;
+    }
+
+    /// Applies one message: advance time, update the shard column, fold
+    /// counters, peaks and log lines.
+    fn apply(&mut self, msg: &ShardMsg) {
+        self.advance(msg.time);
+        self.cost[msg.shard] = msg.cost;
+        self.procs[msg.shard] = msg.procs;
+        self.used[msg.shard] = msg.used;
+        self.speed[msg.shard] = msg.speed;
+        match msg.kind {
+            ShardMsgKind::Admitted { .. } => {
+                self.report.arrivals += 1;
+                self.report.admitted += 1;
+            }
+            ShardMsgKind::Rejected => {
+                self.report.arrivals += 1;
+                self.report.rejected += 1;
+            }
+            ShardMsgKind::Departed => self.report.departed += 1,
+            ShardMsgKind::Evicted { .. } => self.report.evicted += 1,
+            ShardMsgKind::Failed { .. } => self.report.failures += 1,
+            ShardMsgKind::SloChecked { checks, violations } => {
+                self.report.slo_checks += checks;
+                self.report.slo_violations += violations;
+            }
+        }
+        for line in msg.line.split('\n').filter(|l| !l.is_empty()) {
+            self.report.log.push(line.to_string());
+        }
+        self.report.peak_cost = self.report.peak_cost.max(self.cost.iter().sum());
+        self.report.peak_procs = self.report.peak_procs.max(self.procs.iter().sum());
+    }
+}
+
+/// Replays one shard's tick batch against its private platform,
+/// producing the outbound messages and the (wall-clock, thus unstable)
+/// admission-latency samples.
+fn replay_batch(
+    shard_ix: usize,
+    live: &mut LivePlatform,
+    batch: &ShardBatch,
+    trace_seed: u64,
+    config: &ServeConfig,
+    admitted_so_far: &mut usize,
+) -> (Vec<ShardMsg>, Vec<f64>) {
+    let mut msgs = Vec::new();
+    let mut latencies = Vec::new();
+    let mut seq = 0u32;
+    let mut push = |live: &LivePlatform, time: f64, seq: &mut u32, kind, line: String| {
+        let (used, speed) = live.cpu_load();
+        msgs.push(ShardMsg {
+            time,
+            shard: shard_ix,
+            seq: *seq,
+            kind,
+            cost: live.cost(),
+            procs: live.proc_count(),
+            used,
+            speed,
+            line,
+        });
+        *seq += 1;
+    };
+    for ev in &batch.events {
+        let t = ev.time;
+        match ev.event {
+            TraceEvent::Arrive {
+                tenant,
+                spec,
+                deadline,
+            } => {
+                let inst = tenant_instance(live.objects(), live.platform(), &spec);
+                let seed = trace_seed ^ (tenant.0 as u64 + 1).wrapping_mul(PIPELINE_SEED_STRIDE);
+                let started = Instant::now();
+                let outcome =
+                    live.admit(tenant, inst, config.heuristic.as_ref(), seed, &config.opts);
+                match outcome {
+                    Ok(out) => {
+                        latencies.push(started.elapsed().as_secs_f64() * 1e6);
+                        *admitted_so_far += 1;
+                        let line = format!(
+                            "{t:.6} s{shard_ix} admit t{tenant} n={} rho={:.3} until={deadline:.6} \
+                             new={} reuse={} procs={} cost={}",
+                            spec.n_ops,
+                            spec.rho,
+                            out.new_procs,
+                            out.reused_procs,
+                            live.proc_count(),
+                            live.cost()
+                        );
+                        push(
+                            live,
+                            t,
+                            &mut seq,
+                            ShardMsgKind::Admitted {
+                                new_procs: out.new_procs,
+                                reused_procs: out.reused_procs,
+                            },
+                            line,
+                        );
+                        if config.spot_admissions > 0
+                            && (*admitted_so_far).is_multiple_of(config.spot_admissions)
+                        {
+                            let mut slo_log = Vec::new();
+                            let (checks, violations) =
+                                validate_residents(live, config, t, &mut slo_log);
+                            push(
+                                live,
+                                t,
+                                &mut seq,
+                                ShardMsgKind::SloChecked { checks, violations },
+                                slo_log.join("\n"),
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        let line =
+                            format!("{t:.6} s{shard_ix} reject t{tenant} n={} ({e})", spec.n_ops);
+                        push(live, t, &mut seq, ShardMsgKind::Rejected, line);
+                    }
+                }
+            }
+            TraceEvent::Depart { tenant } => {
+                let mut budget = snsp_search::Budget::new(config.refine_evals);
+                if live.depart_budgeted(tenant, &mut budget) {
+                    let line = format!(
+                        "{t:.6} s{shard_ix} depart t{tenant} procs={} cost={}",
+                        live.proc_count(),
+                        live.cost()
+                    );
+                    push(live, t, &mut seq, ShardMsgKind::Departed, line);
+                }
+            }
+            TraceEvent::ProcessorFail { .. } => {
+                unreachable!("failures are barrier events, never batched")
+            }
+        }
+    }
+    (msgs, latencies)
+}
+
+/// Replays one trace over a [`ShardedPlatform`], driving each tick's
+/// shard batches on the sweep pool. Deterministic at any worker count
+/// (see the module docs); with `shards == 1` the result is semantically
+/// identical to [`run_trace`](crate::sim::run_trace), modulo the
+/// `s{shard}` log prefix.
+pub fn run_trace_sharded(trace: &Trace, config: &ServeConfig, opts: &ShardOptions) -> TraceReport {
+    replay_trace_sharded(trace, config, opts).0
+}
+
+/// [`run_trace_sharded`], also handing back the final
+/// [`ShardedPlatform`] so callers can fingerprint or snapshot the end
+/// state (the determinism integration tests compare exactly this).
+pub fn replay_trace_sharded(
+    trace: &Trace,
+    config: &ServeConfig,
+    opts: &ShardOptions,
+) -> (TraceReport, ShardedPlatform) {
+    let opts = opts.clamped();
+    let (objects, platform) = trace_environment(&trace.params, trace.seed);
+    let mut sharded = ShardedPlatform::new(objects, platform, opts.shards);
+    let n_shards = sharded.shard_count();
+    let mut coord = Coordinator::new(n_shards);
+    let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); n_shards];
+    // Per-shard admission counters for the spot-check cadence, carried
+    // across ticks.
+    let mut admitted: Vec<usize> = vec![0; n_shards];
+
+    let mut batches: Vec<ShardBatch> = (0..n_shards).map(|_| ShardBatch::default()).collect();
+    let flush = |sharded: &mut ShardedPlatform,
+                 batches: &mut Vec<ShardBatch>,
+                 coord: &mut Coordinator,
+                 latencies: &mut Vec<Vec<f64>>,
+                 admitted: &mut Vec<usize>| {
+        if batches.iter().all(|b| b.events.is_empty()) {
+            return;
+        }
+        // Hand each worker exclusive access to one (shard, batch, counter)
+        // cell; every cell is locked exactly once, so the mutexes are
+        // uncontended bookkeeping, not synchronization points.
+        let cells: Vec<Mutex<(&mut LivePlatform, &ShardBatch, &mut usize)>> = sharded
+            .shards
+            .iter_mut()
+            .zip(batches.iter())
+            .zip(admitted.iter_mut())
+            .map(|((live, batch), count)| Mutex::new((live, batch, count)))
+            .collect();
+        let outcomes: Vec<(Vec<ShardMsg>, Vec<f64>)> = run_jobs(n_shards, opts.workers, |s| {
+            let mut cell = cells[s].lock().unwrap();
+            let (live, batch, count) = &mut *cell;
+            replay_batch(s, live, batch, trace.seed, config, count)
+        });
+        // Barrier: fold the tick's messages in (time, shard, seq) order —
+        // a pure function of the trace, independent of scheduling.
+        let mut msgs: Vec<ShardMsg> = Vec::new();
+        for (s, (shard_msgs, shard_lat)) in outcomes.into_iter().enumerate() {
+            msgs.extend(shard_msgs);
+            latencies[s].extend(shard_lat);
+        }
+        msgs.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .unwrap()
+                .then(a.shard.cmp(&b.shard))
+                .then(a.seq.cmp(&b.seq))
+        });
+        for msg in &msgs {
+            coord.apply(msg);
+        }
+        for b in batches.iter_mut() {
+            b.events.clear();
+        }
+    };
+
+    for ev in &trace.events {
+        match ev.event {
+            TraceEvent::Arrive { tenant, .. } | TraceEvent::Depart { tenant } => {
+                batches[sharded.route(tenant)].events.push(*ev);
+            }
+            TraceEvent::ProcessorFail { lottery } => {
+                // Failures need the global live-slot view: drain the tick,
+                // then resolve the lottery at the barrier.
+                flush(
+                    &mut sharded,
+                    &mut batches,
+                    &mut coord,
+                    &mut latencies,
+                    &mut admitted,
+                );
+                if let Some((s, out)) = sharded.fail(lottery) {
+                    let t = ev.time;
+                    let victim = out.victim.expect("fail_slot always names its victim");
+                    let shard = sharded.shard(s);
+                    let (used, speed) = shard.cpu_load();
+                    let evicted: Vec<String> =
+                        out.evicted.iter().map(|id| format!("t{id}")).collect();
+                    coord.apply(&ShardMsg {
+                        time: t,
+                        shard: s,
+                        seq: 0,
+                        kind: ShardMsgKind::Failed {
+                            remapped: out.remapped.len(),
+                            evicted: out.evicted.len(),
+                        },
+                        cost: shard.cost(),
+                        procs: shard.proc_count(),
+                        used,
+                        speed,
+                        line: format!(
+                            "{t:.6} s{s} fail p{victim} remapped={} evicted=[{}] procs={} cost={}",
+                            out.remapped.len(),
+                            evicted.join(","),
+                            shard.proc_count(),
+                            shard.cost()
+                        ),
+                    });
+                    for &tenant in &out.evicted {
+                        coord.apply(&ShardMsg {
+                            time: t,
+                            shard: s,
+                            seq: 1,
+                            kind: ShardMsgKind::Evicted { tenant },
+                            cost: shard.cost(),
+                            procs: shard.proc_count(),
+                            used,
+                            speed,
+                            line: String::new(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    flush(
+        &mut sharded,
+        &mut batches,
+        &mut coord,
+        &mut latencies,
+        &mut admitted,
+    );
+
+    let horizon = trace.params.horizon;
+    if config.final_validation {
+        for s in 0..n_shards {
+            let mut slo_log = Vec::new();
+            let (checks, violations) =
+                validate_residents(sharded.shard(s), config, horizon, &mut slo_log);
+            coord.report.slo_checks += checks;
+            coord.report.slo_violations += violations;
+            coord.report.log.extend(slo_log);
+        }
+    }
+    coord.advance(horizon);
+
+    let mut report = coord.report;
+    report.final_cost = sharded.cost();
+    report.mean_utilization = if horizon > 0.0 {
+        report.mean_utilization / horizon
+    } else {
+        0.0
+    };
+    report.admit_latencies_us = latencies.into_iter().flatten().collect();
+    (report, sharded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snsp_core::multi::verify_joint;
+    use snsp_gen::{generate_trace, TraceParams};
+
+    #[test]
+    fn routing_is_stable_and_covers_all_shards() {
+        for shards in [1usize, 2, 4, 8] {
+            let mut hit = vec![false; shards];
+            for t in 0..64u32 {
+                let s = shard_of(TenantId(t), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(TenantId(t), shards), "routing is pure");
+                hit[s] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "64 tenants cover {shards} shards");
+        }
+    }
+
+    #[test]
+    fn one_shard_platform_matches_the_unsharded_view() {
+        let params = TraceParams::poisson(0.5, 5.0, 20.0);
+        let (objects, platform) = trace_environment(&params, 3);
+        let sharded = ShardedPlatform::new(objects, platform.clone(), 1);
+        let shard = sharded.shard(0);
+        for (a, b) in shard.platform().servers.iter().zip(&platform.servers) {
+            assert_eq!(a.nic_bandwidth, b.nic_bandwidth);
+            assert_eq!(a.link_bandwidth, b.link_bandwidth);
+        }
+    }
+
+    #[test]
+    fn nic_capacity_is_split_evenly() {
+        let params = TraceParams::poisson(0.5, 5.0, 20.0);
+        let (objects, platform) = trace_environment(&params, 3);
+        let sharded = ShardedPlatform::new(objects, platform.clone(), 4);
+        for s in 0..4 {
+            for (a, b) in sharded
+                .shard(s)
+                .platform()
+                .servers
+                .iter()
+                .zip(&platform.servers)
+            {
+                assert!((a.nic_bandwidth - b.nic_bandwidth / 4.0).abs() < 1e-9);
+                assert_eq!(a.link_bandwidth, b.link_bandwidth, "links keep full value");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_replay_is_deterministic_across_workers() {
+        let params = TraceParams::poisson(0.6, 4.0, 25.0).with_failures(0.1);
+        let trace = generate_trace(&params, 11);
+        for shards in [1usize, 2, 4] {
+            let base = run_trace_sharded(
+                &trace,
+                &ServeConfig::default(),
+                &ShardOptions { shards, workers: 1 },
+            );
+            for workers in [2usize, 4] {
+                let other = run_trace_sharded(
+                    &trace,
+                    &ServeConfig::default(),
+                    &ShardOptions { shards, workers },
+                );
+                assert_eq!(base.log, other.log, "{shards} shards, {workers} workers");
+                assert_eq!(base.log_hash(), other.log_hash());
+                assert_eq!(base.final_cost, other.final_cost);
+                assert_eq!(base.cost_time_integral, other.cost_time_integral);
+                assert_eq!(base.mean_utilization, other.mean_utilization);
+            }
+        }
+    }
+
+    #[test]
+    fn every_shard_snapshot_verifies_jointly() {
+        let params = TraceParams::poisson(0.8, 6.0, 20.0);
+        let trace = generate_trace(&params, 5);
+        let (objects, platform) = trace_environment(&params, trace.seed);
+        let mut sharded = ShardedPlatform::new(objects, platform, 3);
+        for ev in &trace.events {
+            if let TraceEvent::Arrive { tenant, spec, .. } = ev.event {
+                let seed = trace.seed ^ (tenant.0 as u64 + 1).wrapping_mul(PIPELINE_SEED_STRIDE);
+                let _ = sharded.admit_spec(
+                    tenant,
+                    &spec,
+                    &snsp_core::heuristics::SubtreeBottomUp,
+                    seed,
+                    &Default::default(),
+                );
+            }
+        }
+        assert!(sharded.tenant_count() > 0);
+        let mut resident = 0;
+        for snap in sharded.snapshots().into_iter().flatten() {
+            let (multi, sol) = snap;
+            verify_joint(&multi, &sol).expect("shard snapshot verifies");
+            resident += sol.assignments.len();
+        }
+        assert_eq!(resident, sharded.tenant_count());
+    }
+
+    #[test]
+    fn global_failure_lottery_spans_shards() {
+        let params = TraceParams::poisson(1.0, 8.0, 15.0);
+        let trace = generate_trace(&params, 9);
+        let (objects, platform) = trace_environment(&params, trace.seed);
+        let mut sharded = ShardedPlatform::new(objects, platform, 2);
+        for ev in &trace.events {
+            if let TraceEvent::Arrive { tenant, spec, .. } = ev.event {
+                let seed = trace.seed ^ (tenant.0 as u64 + 1).wrapping_mul(PIPELINE_SEED_STRIDE);
+                let _ = sharded.admit_spec(
+                    tenant,
+                    &spec,
+                    &snsp_core::heuristics::SubtreeBottomUp,
+                    seed,
+                    &Default::default(),
+                );
+            }
+        }
+        let total = sharded.proc_count();
+        assert!(total >= 2, "need processors on both shards");
+        let mut hit = [false; 2];
+        for lottery in 0..total as u64 {
+            let mut probe = sharded.clone();
+            let (s, out) = probe.fail(lottery).expect("processors are live");
+            assert!(out.victim.is_some());
+            hit[s] = true;
+        }
+        assert!(hit[0] && hit[1], "the lottery reaches every shard");
+        // An empty platform has no victim to draw.
+        let (objects, platform) = trace_environment(&params, 1);
+        let mut empty = ShardedPlatform::new(objects, platform, 2);
+        assert!(empty.fail(0).is_none());
+    }
+}

@@ -14,6 +14,8 @@
 //! every `spot_admissions`-th admission, and over all residents at the
 //! end of the trace.
 
+use std::time::Instant;
+
 use snsp_core::heuristics::{Heuristic, PipelineOptions, SubtreeBottomUp};
 use snsp_engine::{meets_slo, SimConfig};
 use snsp_gen::{tenant_instance, trace_environment, Trace, TraceEvent};
@@ -58,7 +60,7 @@ impl Default for ServeConfig {
 /// Engine-validates every resident tenant's projection of the current
 /// snapshot; returns `(checks, violations)` and appends log lines for
 /// violations only.
-fn validate_residents(
+pub(crate) fn validate_residents(
     live: &LivePlatform,
     config: &ServeConfig,
     time: f64,
@@ -108,8 +110,12 @@ pub fn run_trace(trace: &Trace, config: &ServeConfig) -> TraceReport {
                 report.arrivals += 1;
                 let inst = tenant_instance(&objects, &platform, &spec);
                 let seed = trace.seed ^ (tenant.0 as u64 + 1).wrapping_mul(PIPELINE_SEED_STRIDE);
+                let started = Instant::now();
                 match live.admit(tenant, inst, config.heuristic.as_ref(), seed, &config.opts) {
                     Ok(out) => {
+                        report
+                            .admit_latencies_us
+                            .push(started.elapsed().as_secs_f64() * 1e6);
                         report.admitted += 1;
                         log.push(format!(
                             "{t:.6} admit t{tenant} n={} rho={:.3} until={deadline:.6} \

@@ -1,5 +1,5 @@
 //! The integer linear programming formulation of the operator-mapping
-//! problem (paper §3 refers to the research report [4] for the full ILP).
+//! problem (paper §3 refers to the research report \[4\] for the full ILP).
 //!
 //! We reconstruct the formulation explicitly and can serialize it in CPLEX
 //! LP text format. The paper notes the ILP "is so enormous that … the ILP

@@ -7,7 +7,7 @@
 //! pipeline RNG from [`solve_seeded`] with a seed derived from the
 //! scenario seed alone, exactly as the seed repository's serial loop did.
 //! Aggregation happens in grid order after the pool drains, so the
-//! resulting [`CampaignReport`](crate::CampaignReport) is identical at
+//! resulting [`CampaignReport`] is identical at
 //! every worker count.
 
 use std::time::Instant;

@@ -39,6 +39,8 @@
 //!
 //! [`solve_seeded`]: snsp_core::heuristics::solve_seeded
 
+#![warn(missing_docs)]
+
 pub mod campaign;
 pub mod json;
 pub mod pool;
@@ -50,7 +52,7 @@ pub use json::Json;
 pub use pool::run_jobs;
 pub use schema::{
     validate_perf_report, validate_refine_report, validate_report, validate_serve_report,
-    PERF_SCHEMA_VERSION, REFINE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION,
+    PERF_SCHEMA_VERSION, REFINE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION_MIN,
 };
 pub use sink::{
     CampaignReport, HeurStats, PhaseTiming, PointReport, ReferenceStats, SCHEMA_VERSION,

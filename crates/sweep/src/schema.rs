@@ -5,18 +5,27 @@
 //! these checks reject them, so downstream tooling (perf dashboards,
 //! diff scripts) can rely on the schemas without defensive parsing.
 //! Campaign reports are **schema v1** ([`validate_report`]); online
-//! serving reports are **schema v2** ([`validate_serve_report`]), which
-//! adds the `kind: "serve"` discriminator, the trace-grid config echo and
-//! the service-metric result rows; perf reports are **schema v3**
+//! serving reports are **schema v3** ([`validate_serve_report`]), which
+//! adds the `kind: "serve"` discriminator, the trace-grid config echo
+//! (including the shard count), the service-metric result rows and the
+//! `admit_latency` p50/p99 column (v2 documents — pre-sharding, no
+//! latency column — stay readable); perf reports are **schema v3**
 //! ([`validate_perf_report`], `kind: "perf"`), recording the incremental
 //! demand engine's measured speedups over the retained reference oracles
 //! (heuristic pipelines, the branch-and-bound, and the raw demand probe).
+//! Serve v3 and perf v3 share a version number but never a document: the
+//! `kind` discriminator keeps them apart.
 
 use crate::json::{parse, Json};
 use crate::sink::SCHEMA_VERSION;
 
-/// The schema version stamped into (and required of) every serve report.
-pub const SERVE_SCHEMA_VERSION: i64 = 2;
+/// The schema version stamped into every new serve report.
+/// [`validate_serve_report`] also still accepts v2 documents (written
+/// before the sharded tier and the admission-latency columns).
+pub const SERVE_SCHEMA_VERSION: i64 = 3;
+
+/// The oldest serve schema version [`validate_serve_report`] accepts.
+pub const SERVE_SCHEMA_VERSION_MIN: i64 = 2;
 
 /// The schema version stamped into (and required of) every perf report.
 pub const PERF_SCHEMA_VERSION: i64 = 3;
@@ -175,8 +184,12 @@ pub fn validate_report(text: &str) -> Result<(), Vec<String>> {
     }
 }
 
-/// Validates a serialized online-serving campaign report against schema
-/// v2 (the `BENCH_serve.json` document written by `snsp-serve`).
+/// Validates a serialized online-serving campaign report (the
+/// `BENCH_serve.json` document written by `snsp-serve`).
+///
+/// Accepts schema v3 (current: shard count in the config echo,
+/// `admit_latency` column in every result row) and schema v2 (legacy:
+/// neither), so archived artifacts keep validating.
 ///
 /// Returns every violation found (empty ⇒ valid); a parse failure is a
 /// single violation.
@@ -192,10 +205,13 @@ pub fn validate_serve_report(text: &str) -> Result<(), Vec<String>> {
         }
     };
 
+    let version = doc.get("schema_version").and_then(Json::as_int);
     check(
-        doc.get("schema_version").and_then(Json::as_int) == Some(SERVE_SCHEMA_VERSION),
-        "schema_version must be the integer 2",
+        version.is_some_and(|v| (SERVE_SCHEMA_VERSION_MIN..=SERVE_SCHEMA_VERSION).contains(&v)),
+        "schema_version must be an integer in [2, 3]",
     );
+    // v3 adds config.shards and the per-row admit_latency column.
+    let v3 = version == Some(SERVE_SCHEMA_VERSION);
     check(
         doc.get("kind").and_then(Json::as_str) == Some("serve"),
         "kind must be the string \"serve\"",
@@ -228,6 +244,9 @@ pub fn validate_serve_report(text: &str) -> Result<(), Vec<String>> {
                 .is_some_and(|v| (0.0..=1.0).contains(&v))
             {
                 errors.push("config.slo_frac must be a number in [0, 1]".to_string());
+            }
+            if v3 && config.get("shards").and_then(Json::as_int).unwrap_or(0) < 1 {
+                errors.push("config.shards must be a positive integer".to_string());
             }
             match config.get("points").and_then(Json::as_arr) {
                 None => {
@@ -337,6 +356,38 @@ pub fn validate_serve_report(text: &str) -> Result<(), Vec<String>> {
                         .is_some_and(|v| v >= 0.0)
                     {
                         errors.push(format!("{at}.{key} must be a non-negative number"));
+                    }
+                }
+                if v3 {
+                    match point.get("admit_latency") {
+                        None => errors.push(format!("{at}.admit_latency key missing")),
+                        // Stable renderings drop the wall-clock samples.
+                        Some(Json::Null) => {}
+                        Some(lat) => {
+                            if lat.get("samples").and_then(Json::as_int).unwrap_or(0) < 1 {
+                                errors.push(format!(
+                                    "{at}.admit_latency.samples must be a positive integer"
+                                ));
+                            }
+                            let mut num_of = |key: &str| -> f64 {
+                                let v = lat.get(key).and_then(Json::as_num).filter(|&v| v >= 0.0);
+                                if v.is_none() {
+                                    errors.push(format!(
+                                        "{at}.admit_latency.{key} must be a non-negative number"
+                                    ));
+                                }
+                                v.unwrap_or(0.0)
+                            };
+                            let p50 = num_of("p50_us");
+                            let p99 = num_of("p99_us");
+                            let max = num_of("max_us");
+                            if !(p50 <= p99 && p99 <= max) {
+                                errors.push(format!(
+                                    "{at}.admit_latency percentiles must be ordered \
+                                     (p50 <= p99 <= max)"
+                                ));
+                            }
+                        }
                     }
                 }
                 if point
@@ -920,15 +971,29 @@ mod tests {
 
     /// A minimal well-formed serve document (what `snsp-serve` renders;
     /// kept in sync by snsp-serve's own round-trip tests).
+    /// A legacy v2 document (pre-sharding: no `config.shards`, no
+    /// `admit_latency` rows) — must stay readable forever.
+    fn serve_doc_v2() -> String {
+        serve_doc()
+            .replace("\"schema_version\": 3", "\"schema_version\": 2")
+            .replace("    \"shards\": 4,\n", "")
+            .replace(
+                "      \"admit_latency\": {\"samples\": 18, \"p50_us\": 850.0, \
+                 \"p99_us\": 2300.0, \"max_us\": 2400.0},\n",
+                "",
+            )
+    }
+
     fn serve_doc() -> String {
         r#"{
-  "schema_version": 2,
+  "schema_version": 3,
   "generator": "snsp-serve 0.1.0",
   "kind": "serve",
   "campaign": "unit",
   "config": {
     "seeds": 2,
     "slo_frac": 0.95,
+    "shards": 4,
     "points": [
       {
         "label": "poisson",
@@ -961,6 +1026,7 @@ mod tests {
       "peak_procs": 6,
       "slo_checks": 18,
       "slo_violations": 0,
+      "admit_latency": {"samples": 18, "p50_us": 850.0, "p99_us": 2300.0, "max_us": 2400.0},
       "log_hash": "9f3cafc4"
     }
   ]
@@ -970,7 +1036,39 @@ mod tests {
 
     #[test]
     fn serve_schema_accepts_well_formed_documents() {
-        validate_serve_report(&serve_doc()).expect("serve doc validates");
+        validate_serve_report(&serve_doc()).expect("serve v3 doc validates");
+    }
+
+    #[test]
+    fn serve_schema_keeps_v2_documents_readable() {
+        let v2 = serve_doc_v2();
+        assert!(v2.contains("\"schema_version\": 2"), "substitution applied");
+        assert!(!v2.contains("shards"), "substitution applied");
+        assert!(!v2.contains("admit_latency"), "substitution applied");
+        validate_serve_report(&v2).expect("legacy v2 doc validates");
+    }
+
+    #[test]
+    fn serve_v3_requires_the_new_columns() {
+        // A v3 stamp without the v3 fields is invalid...
+        let broken = serve_doc_v2().replace("\"schema_version\": 2", "\"schema_version\": 3");
+        let errors = validate_serve_report(&broken).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("config.shards")));
+        assert!(errors.iter().any(|e| e.contains("admit_latency")));
+        // ...but a stable rendering may null the wall-clock column.
+        let stable = serve_doc().replace(
+            "{\"samples\": 18, \"p50_us\": 850.0, \"p99_us\": 2300.0, \"max_us\": 2400.0}",
+            "null",
+        );
+        validate_serve_report(&stable).expect("null admit_latency is the stable form");
+        // Percentiles must be ordered.
+        let unordered = serve_doc().replace("\"p99_us\": 2300.0", "\"p99_us\": 9300.0");
+        let errors = validate_serve_report(&unordered).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("ordered")), "{errors:?}");
+        // Versions past the current one are rejected.
+        let future = serve_doc().replace("\"schema_version\": 3", "\"schema_version\": 4");
+        let errors = validate_serve_report(&future).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("schema_version")));
     }
 
     #[test]

@@ -10,23 +10,24 @@
 //!
 //! This facade crate re-exports the workspace:
 //!
-//! * [`core`](snsp_core) — models, the paper's constraints (1)–(5), the six
+//! * [`core`] — models, the paper's constraints (1)–(5), the six
 //!   placement heuristics, server selection and the downgrade pass;
-//! * [`gen`](snsp_gen) — random workloads following the paper's §5
+//! * [`gen`] — random workloads following the paper's §5
 //!   methodology;
-//! * [`solver`](snsp_solver) — the ILP formulation, an exact
+//! * [`solver`] — the ILP formulation, an exact
 //!   branch-and-bound, and analytic lower bounds;
-//! * [`engine`](snsp_engine) — a discrete-event steady-state engine that
+//! * [`engine`] — a discrete-event steady-state engine that
 //!   executes mappings and measures their achieved throughput;
-//! * [`sweep`](snsp_sweep) — parallel scenario-grid campaigns with
+//! * [`sweep`] — parallel scenario-grid campaigns with
 //!   machine-readable, worker-count-independent JSON reports;
-//! * [`search`](snsp_search) — anytime local-search refinement: typed
+//! * [`search`] — anytime local-search refinement: typed
 //!   neighborhood moves screened through the incremental demand engine,
 //!   greedy/annealing/portfolio drivers, and schema-v4 refinement
 //!   campaigns;
-//! * [`serve`](snsp_serve) — online multi-tenant serving: trace-driven
+//! * [`serve`] — online multi-tenant serving: trace-driven
 //!   admission, incremental placement and eviction over one shared
-//!   elastic platform.
+//!   elastic platform, with a sharded tier that replays tenant
+//!   partitions in parallel under a deterministic message protocol.
 //!
 //! ## Quickstart
 //!
@@ -90,7 +91,8 @@ pub mod prelude {
         RefineCampaign, RefineOutcome, RefinePoint, SearchState,
     };
     pub use snsp_serve::{
-        run_serve_campaign, run_trace, LivePlatform, ServeCampaign, ServeConfig, ServePoint,
+        replay_trace_sharded, run_serve_campaign, run_trace, run_trace_sharded, shard_of,
+        LivePlatform, ServeCampaign, ServeConfig, ServePoint, ShardOptions, ShardedPlatform,
         TraceReport,
     };
     pub use snsp_solver::{
