@@ -63,6 +63,7 @@ pub mod mapping;
 pub mod multi;
 pub mod object;
 pub mod platform;
+pub mod pool;
 pub mod refine;
 pub mod report;
 pub mod rewrite;

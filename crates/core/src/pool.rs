@@ -1,0 +1,360 @@
+//! Work-stealing executors over `std::thread::scope`.
+//!
+//! Two primitives share this module, both scheduling-deterministic in
+//! the sense the workspace requires (results are pure functions of the
+//! inputs, never of thread interleaving):
+//!
+//! * [`run_jobs`] — a **static** pool: jobs are the integers
+//!   `0..n_jobs`, each worker owns a contiguous range of unclaimed
+//!   indices, pops from the front of its own range and, when empty,
+//!   steals the back half of the richest remaining range. Because every
+//!   job writes only its own result slot and jobs are pure functions of
+//!   their index, the collected output is identical for every worker
+//!   count and every interleaving. This is the campaign executor
+//!   (`snsp-sweep` re-exports it).
+//! * [`TaskDeque`] + [`run_workers`] — a **dynamic** frontier for
+//!   tree-shaped work whose extent is unknown up front (branch-and-bound
+//!   subtree splitting): workers pop open tasks from a shared LIFO
+//!   deque, may push newly split tasks while running, and [`TaskDeque::pop`]
+//!   returns `None` only when every task — queued *or* in flight — has
+//!   completed, so late splits can never be dropped.
+//!
+//! The module lives in `snsp-core` (pure `std`, no dependencies) so that
+//! both the campaign layer above (`snsp-sweep`) and the exact solver
+//! below it (`snsp-solver`, a *dependency* of `snsp-sweep`) can share
+//! one executor implementation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A contiguous range `[lo, hi)` of unclaimed job indices.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    lo: usize,
+    hi: usize,
+}
+
+impl Span {
+    fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+}
+
+/// Runs `job(i)` for every `i in 0..n_jobs` on `workers` threads and
+/// returns the results in index order.
+///
+/// `workers` is clamped to `[1, n_jobs]`; with one worker the jobs run on
+/// the calling thread in index order, giving a true serial baseline.
+pub fn run_jobs<T, F>(n_jobs: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n_jobs == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n_jobs);
+    if workers == 1 {
+        return (0..n_jobs).map(job).collect();
+    }
+
+    // Initial even split of `0..n_jobs` into one span per worker.
+    let queues: Vec<Mutex<Span>> = (0..workers)
+        .map(|w| {
+            let lo = w * n_jobs / workers;
+            let hi = (w + 1) * n_jobs / workers;
+            Mutex::new(Span { lo, hi })
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let job = &job;
+            scope.spawn(move || loop {
+                // Pop from the front of our own span.
+                let mine = {
+                    let mut span = queues[w].lock().unwrap();
+                    if span.lo < span.hi {
+                        let i = span.lo;
+                        span.lo += 1;
+                        Some(i)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(i) = mine {
+                    *slots[i].lock().unwrap() = Some(job(i));
+                    continue;
+                }
+                // Steal the back half of the richest victim. Only one lock
+                // is held at a time, so there is no ordering to deadlock on.
+                let victim = (0..workers)
+                    .filter(|&v| v != w)
+                    .map(|v| (v, queues[v].lock().unwrap().len()))
+                    .max_by_key(|&(_, len)| len)
+                    .filter(|&(_, len)| len > 0)
+                    .map(|(v, _)| v);
+                let Some(v) = victim else {
+                    break; // every span is empty — all jobs are claimed
+                };
+                let stolen = {
+                    let mut span = queues[v].lock().unwrap();
+                    let take = span.len().div_ceil(2);
+                    if take == 0 {
+                        None // raced: the victim drained it first
+                    } else {
+                        let lo = span.hi - take;
+                        let hi = span.hi;
+                        span.hi = lo;
+                        Some(Span { lo, hi })
+                    }
+                };
+                if let Some(s) = stolen {
+                    *queues[w].lock().unwrap() = s;
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every job index was claimed exactly once")
+        })
+        .collect()
+}
+
+/// A shared LIFO deque of dynamically discovered tasks.
+///
+/// Built for tree searches that split subtrees on demand: a worker pops
+/// an open task, expands it, and may [`push`](Self::push) any number of
+/// new tasks before declaring the popped one [`complete`](Self::complete).
+/// [`pop`](Self::pop) distinguishes "momentarily empty" (other workers
+/// still hold in-flight tasks that may split) from "drained" (nothing
+/// queued, nothing in flight) and only returns `None` in the latter
+/// case, so the standard worker loop is race-free:
+///
+/// ```
+/// use snsp_core::pool::TaskDeque;
+///
+/// // Count the nodes of a virtual binary tree of depth 4 by splitting.
+/// let deque = TaskDeque::new(vec![0u32]);
+/// let visited = std::sync::atomic::AtomicUsize::new(0);
+/// snsp_core::pool::run_workers(3, |_worker| {
+///     while let Some(depth) = deque.pop() {
+///         visited.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+///         if depth < 4 {
+///             deque.push(depth + 1); // left subtree
+///             deque.push(depth + 1); // right subtree
+///         }
+///         deque.complete();
+///     }
+/// });
+/// assert_eq!(visited.into_inner(), 31); // 2^5 - 1 nodes, each exactly once
+/// ```
+///
+/// LIFO order keeps the frontier depth-first per worker (bounded memory,
+/// cache-warm subtrees); which worker pops which task is scheduling-
+/// dependent, so callers needing deterministic *results* must make every
+/// task's outcome independent of pop order — the discipline
+/// `snsp_solver::bb`'s parallel search follows (monotone shared
+/// incumbent; final optimum independent of visit order).
+pub struct TaskDeque<T> {
+    queue: Mutex<Vec<T>>,
+    /// Tasks queued plus tasks popped-but-not-completed; `0` ⇒ drained.
+    pending: AtomicUsize,
+    /// Mirror of `queue.len()`, readable without the lock (split
+    /// heuristics only — always a hint, never load-bearing).
+    queued: AtomicUsize,
+}
+
+impl<T> TaskDeque<T> {
+    /// A deque seeded with the initial task set.
+    pub fn new(initial: Vec<T>) -> Self {
+        let n = initial.len();
+        TaskDeque {
+            queue: Mutex::new(initial),
+            pending: AtomicUsize::new(n),
+            queued: AtomicUsize::new(n),
+        }
+    }
+
+    /// Enqueues a newly split task. May be called from inside a worker
+    /// while it still holds its current task — the count of that current
+    /// task keeps the deque alive until [`complete`](Self::complete).
+    pub fn push(&self, task: T) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let mut queue = self.queue.lock().unwrap();
+        queue.push(task);
+        self.queued.store(queue.len(), Ordering::Relaxed);
+    }
+
+    /// Pops the most recently pushed open task; blocks (yielding) while
+    /// the deque is momentarily empty but other workers hold in-flight
+    /// tasks, and returns `None` once everything has completed.
+    pub fn pop(&self) -> Option<T> {
+        loop {
+            {
+                let mut queue = self.queue.lock().unwrap();
+                if let Some(task) = queue.pop() {
+                    self.queued.store(queue.len(), Ordering::Relaxed);
+                    return Some(task);
+                }
+            }
+            if self.pending.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Declares the most recently popped task finished. Every successful
+    /// [`pop`](Self::pop) must be matched by exactly one `complete`
+    /// *after* any child tasks were pushed, or `pop` never drains.
+    pub fn complete(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Current queue length (a racy hint for "are workers starving?"
+    /// split heuristics; never use it for termination).
+    pub fn queued(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
+    }
+}
+
+/// Runs `body(worker_index)` on `workers` scoped threads and joins them
+/// all; `workers <= 1` calls `body(0)` on the current thread (the serial
+/// baseline — no threads spawned, deterministic stack traces).
+pub fn run_workers<F>(workers: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if workers <= 1 {
+        body(0);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let body = &body;
+            scope.spawn(move || body(w));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        for workers in [1, 2, 3, 8, 64] {
+            let calls = AtomicUsize::new(0);
+            let out = run_jobs(37, workers, |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                i * i
+            });
+            assert_eq!(calls.load(Ordering::Relaxed), 37);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out: Vec<u32> = run_jobs(0, 4, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let out = run_jobs(3, 16, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn output_order_is_independent_of_worker_count() {
+        let serial = run_jobs(101, 1, |i| i as u64 * 7919);
+        for workers in [2, 5, 12] {
+            assert_eq!(run_jobs(101, workers, |i| i as u64 * 7919), serial);
+        }
+    }
+
+    #[test]
+    fn uneven_job_durations_still_complete() {
+        // Front-loaded long jobs force the later workers to steal.
+        let out = run_jobs(24, 4, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            i
+        });
+        assert_eq!(out, (0..24).collect::<Vec<_>>());
+    }
+
+    /// Expands a virtual k-ary tree through the deque and counts nodes:
+    /// every node must be visited exactly once at every worker count.
+    fn expand_tree(workers: usize, arity: usize, depth: u32) -> usize {
+        let deque = TaskDeque::new(vec![0u32]);
+        let visited = AtomicUsize::new(0);
+        run_workers(workers, |_| {
+            while let Some(d) = deque.pop() {
+                visited.fetch_add(1, Ordering::Relaxed);
+                if d < depth {
+                    for _ in 0..arity {
+                        deque.push(d + 1);
+                    }
+                }
+                deque.complete();
+            }
+        });
+        visited.into_inner()
+    }
+
+    #[test]
+    fn task_deque_visits_every_split_task_once() {
+        // 3-ary tree of depth 5: (3^6 - 1) / 2 = 364 nodes.
+        let serial = expand_tree(1, 3, 5);
+        assert_eq!(serial, 364);
+        for workers in [2, 4, 7] {
+            assert_eq!(expand_tree(workers, 3, 5), serial, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn task_deque_starving_workers_terminate() {
+        // A single task that never splits: every worker but the one that
+        // grabbed it spins on an empty deque and must still exit once
+        // the owner completes.
+        let deque = TaskDeque::new(vec![()]);
+        let ran = AtomicUsize::new(0);
+        run_workers(8, |_| {
+            while let Some(()) = deque.pop() {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                ran.fetch_add(1, Ordering::Relaxed);
+                deque.complete();
+            }
+        });
+        assert_eq!(ran.into_inner(), 1);
+    }
+
+    #[test]
+    fn task_deque_empty_initial_set_drains_immediately() {
+        let deque: TaskDeque<u8> = TaskDeque::new(Vec::new());
+        assert!(deque.pop().is_none());
+        assert_eq!(deque.queued(), 0);
+    }
+
+    #[test]
+    fn task_deque_pop_is_lifo() {
+        let deque = TaskDeque::new(vec![1, 2, 3]);
+        assert_eq!(deque.pop(), Some(3));
+        deque.push(9);
+        assert_eq!(deque.pop(), Some(9));
+        assert_eq!(deque.queued(), 2);
+    }
+}

@@ -95,6 +95,7 @@ pub fn grid(id: &str, seeds: u64) -> Option<Campaign> {
         .with_reference(ReferenceConfig {
             max_ops: 12,
             node_budget: 200_000,
+            workers: 1,
         }),
         // Production-scale trees, practical only since the incremental
         // demand engine: a full six-heuristic sweep at N = 2000 runs in
@@ -438,6 +439,7 @@ pub fn vs_optimal(seeds: u64) -> Vec<Table> {
         .with_reference(ReferenceConfig {
             max_ops: 20,
             node_budget: 500_000,
+            workers: 1,
         });
     sweep(
         "Heuristics vs exact optimum — CONSTR-HOM (entry CPU, 1 Gbps NIC)",

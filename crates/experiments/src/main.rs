@@ -8,11 +8,14 @@
 //!
 //! snsp-experiments sweep --grid <fig2a|fig2b|fig3|fig3n20|large|lowfreq|ci>
 //!                        [--seeds K] [--workers W] [--reference]
-//!                        [--json PATH] [--stable-json] [--out DIR]
+//!                        [--bb-workers B] [--json PATH] [--stable-json]
+//!                        [--out DIR]
 //!   Runs the grid as one parallel campaign and writes BENCH_sweep.json
 //!   (schema v1). --stable-json omits the timing block so the bytes are
 //!   identical at every worker count; --reference adds a branch-and-bound
-//!   column on small points.
+//!   column on small points; --bb-workers runs each reference solve with
+//!   B parallel branch-and-bound threads (wall-clock only — the certified
+//!   optimum is worker-count-independent).
 //!
 //! snsp-experiments serve --grid <serve-ci|poisson|burst|churn|sharded-ci|sharded-100k>
 //!                        [--seeds K] [--workers W] [--replay-workers R]
@@ -31,12 +34,13 @@
 //!   and writes BENCH_perf.json (schema v3, byte-stable layout).
 //!
 //! snsp-experiments refine --grid <ci|fig2|large-n>
-//!                         [--seeds K] [--workers W] [--json PATH]
-//!                         [--stable-json] [--out DIR]
+//!                         [--seeds K] [--workers W] [--bb-workers B]
+//!                         [--json PATH] [--stable-json] [--out DIR]
 //!   Races the six heuristics as starts, refines the best with the
 //!   snsp-search portfolio and writes BENCH_refine.json (schema v4,
 //!   byte-identical at any worker count in --stable-json form; the ci
-//!   grid carries an exact branch-and-bound reference column).
+//!   grid carries an exact branch-and-bound reference column, solved
+//!   with B parallel threads under --bb-workers — same bytes at any B).
 //!
 //! snsp-experiments validate <PATH>
 //!   Schema-checks a BENCH_sweep.json (v1), BENCH_serve.json (v3, v2
@@ -67,6 +71,7 @@ struct Args {
     out_dir: PathBuf,
     workers: Option<usize>,
     replay_workers: Option<usize>,
+    bb_workers: Option<usize>,
     grid: Option<String>,
     json: Option<PathBuf>,
     stable_json: bool,
@@ -83,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         out_dir: PathBuf::from("results"),
         workers: None,
         replay_workers: None,
+        bb_workers: None,
         grid: None,
         json: None,
         stable_json: false,
@@ -123,6 +129,14 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or("--replay-workers needs a positive integer")?,
                 );
             }
+            "--bb-workers" => {
+                parsed.bb_workers = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&w| w >= 1)
+                        .ok_or("--bb-workers needs a positive integer")?,
+                );
+            }
             "--grid" => {
                 parsed.grid = Some(args.next().ok_or("--grid needs a grid id")?);
             }
@@ -141,12 +155,12 @@ fn usage() -> String {
     "usage: snsp-experiments <table1|fig2a|fig2b|fig3|fig3n20|large|lowfreq|rates|vsopt|engine|\
      bounds|mutable|budget|multiapp|all> [--seeds K] [--out DIR]\n\
      \u{20}      snsp-experiments sweep --grid <ID> [--seeds K] [--workers W] [--reference] \
-     [--json PATH] [--stable-json] [--out DIR]\n\
+     [--bb-workers B] [--json PATH] [--stable-json] [--out DIR]\n\
      \u{20}      snsp-experiments serve --grid <ID> [--seeds K] [--workers W] \
      [--replay-workers R] [--json PATH] [--stable-json] [--out DIR]\n\
      \u{20}      snsp-experiments perf --grid <ci|large-n> [--seeds K] [--json PATH] [--out DIR]\n\
      \u{20}      snsp-experiments refine --grid <ci|fig2|large-n> [--seeds K] [--workers W] \
-     [--json PATH] [--stable-json] [--out DIR]\n\
+     [--bb-workers B] [--json PATH] [--stable-json] [--out DIR]\n\
      \u{20}      snsp-experiments validate <PATH>"
         .to_string()
 }
@@ -204,6 +218,9 @@ fn run_sweep(args: &Args) -> Result<(), String> {
     }
     if args.reference && campaign.reference.is_none() {
         campaign = campaign.with_reference(ReferenceConfig::default());
+    }
+    if let (Some(b), Some(r)) = (args.bb_workers, campaign.reference.as_mut()) {
+        r.workers = b;
     }
 
     let report = run_campaign(&campaign);
@@ -291,6 +308,9 @@ fn run_refine(args: &Args) -> Result<(), String> {
     })?;
     if let Some(w) = args.workers {
         campaign = campaign.with_workers(w);
+    }
+    if let (Some(b), Some(r)) = (args.bb_workers, campaign.reference.as_mut()) {
+        r.workers = b;
     }
 
     let report = run_refine_campaign(&campaign);

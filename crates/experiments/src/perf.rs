@@ -250,6 +250,7 @@ pub fn run_perf(campaign: &PerfCampaign) -> PerfReport {
         let config = BranchBoundConfig {
             node_budget: point.node_budget,
             upper_bound: None,
+            workers: 1,
         };
         for seed in 0..campaign.seeds {
             let mut inst = generate(

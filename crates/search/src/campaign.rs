@@ -50,13 +50,19 @@ pub struct RefineReference {
     pub max_ops: usize,
     /// Node budget per exact solve.
     pub node_budget: u64,
+    /// Branch-and-bound worker threads per exact solve (`<= 1` =
+    /// serial). Execution knob only: the certified optimum — and hence
+    /// the stable report — is identical at any value, so it is not
+    /// echoed in the JSON.
+    pub workers: usize,
 }
 
 impl Default for RefineReference {
     fn default() -> Self {
         RefineReference {
-            max_ops: 12,
-            node_budget: 200_000,
+            max_ops: 60,
+            node_budget: 600_000,
+            workers: 1,
         }
     }
 }
@@ -387,6 +393,7 @@ fn run_job(campaign: &RefineCampaign, point: &RefinePoint, seed: u64) -> JobResu
             let config = BranchBoundConfig {
                 node_budget: r.node_budget,
                 upper_bound: refined_cost.map(|c| c + 1),
+                workers: r.workers,
             };
             let res = solve_exact(&inst, &config);
             res.mapping.as_ref().map(|_| (res.cost, res.optimal))
@@ -485,6 +492,8 @@ pub fn refine_grid(id: &str, seeds: u64) -> Option<RefineCampaign> {
                 hom(12, 0.9),
                 het(12, 1.3),
                 het(30, 0.9),
+                het(40, 0.9),
+                het(60, 0.9),
                 het(100, 1.5),
             ],
             seeds,
@@ -557,5 +566,59 @@ mod tests {
                 "{workers} workers diverged"
             );
         }
+    }
+
+    #[test]
+    fn stable_json_is_identical_at_any_bb_worker_count() {
+        // The reference column's parallel branch-and-bound is an
+        // execution knob: the certified optimum — and hence every byte
+        // of the stable report — must match at 1/2/4 B&B workers.
+        let report_at = |bb_workers: usize| {
+            let mut c = small_campaign(1);
+            c.reference
+                .as_mut()
+                .expect("ci grid has a reference")
+                .workers = bb_workers;
+            run_refine_campaign(&c).render_json(false)
+        };
+        let serial = report_at(1);
+        for bb_workers in [2usize, 4] {
+            assert_eq!(
+                serial,
+                report_at(bb_workers),
+                "{bb_workers} B&B workers diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_column_certifies_heterogeneous_n40_and_n60() {
+        // The tentpole's acceptance criterion: the ci grid's reference
+        // column reaches N ≥ 40 heterogeneous points with a certified
+        // (optimal, non-blank) gap entry.
+        let mut c = refine_grid("ci", 1).unwrap();
+        c.refine.max_evals = 300;
+        let report = run_refine_campaign(&c.with_workers(1));
+        let big_certified: Vec<&str> = report
+            .points
+            .iter()
+            .filter(|p| {
+                p.label.starts_with("het")
+                    && p.exact.as_ref().is_some_and(|e| {
+                        e.optimal && e.mean_cost.is_some() && e.max_gap_pct.is_some()
+                    })
+            })
+            .filter(|p| {
+                ["N=40", "N=60"]
+                    .iter()
+                    .any(|needle| p.label.contains(needle))
+            })
+            .map(|p| p.label.as_str())
+            .collect();
+        assert_eq!(
+            big_certified.len(),
+            2,
+            "expected certified het N=40 and N=60 rows, got {big_certified:?}"
+        );
     }
 }

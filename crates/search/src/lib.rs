@@ -49,6 +49,8 @@
 //! assert!(snsp_core::is_feasible(&inst, &out.solution.mapping));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod campaign;
 pub mod drivers;
 pub mod moves;

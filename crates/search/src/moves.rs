@@ -27,19 +27,46 @@ pub enum Target {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Move {
     /// Move one operator to another (or a fresh) group.
-    Reassign { op: OpId, to: Target },
+    Reassign {
+        /// The operator to move.
+        op: OpId,
+        /// Its destination.
+        to: Target,
+    },
     /// Exchange two operators across their groups.
-    Swap { a: OpId, b: OpId },
+    Swap {
+        /// First operator of the exchanged pair.
+        a: OpId,
+        /// Second operator of the exchanged pair.
+        b: OpId,
+    },
     /// Merge two tree-adjacent groups onto one processor.
-    Merge { a: usize, b: usize },
+    Merge {
+        /// Absorbing group (by position).
+        a: usize,
+        /// Absorbed group (by position).
+        b: usize,
+    },
     /// Split one group: the members under `pivot` move to a new
     /// processor.
-    Split { g: usize, pivot: OpId },
+    Split {
+        /// The group to split (by position).
+        g: usize,
+        /// The member whose subtree leaves for the new processor.
+        pivot: OpId,
+    },
     /// Re-price one group to its cheapest fitting catalog kind.
-    Retarget { g: usize },
+    Retarget {
+        /// The group to re-price (by position).
+        g: usize,
+    },
     /// Re-source every download with a seeded random routing, accepted
     /// when it strictly reduces the peak relative server load.
-    Reroute { attempt: u32 },
+    Reroute {
+        /// Deterministic RNG discriminator: attempt `k` of a sweep
+        /// always draws the same routing.
+        attempt: u32,
+    },
 }
 
 /// Enumerates one deterministic full sweep of the structural

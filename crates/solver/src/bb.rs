@@ -27,6 +27,42 @@
 //! recompute-per-node implementation is kept verbatim as
 //! [`solve_exact_reference`]: equivalence tests pin the incremental
 //! search to it, and the perf harness measures the speedup between them.
+//!
+//! ## Parallel search
+//!
+//! With [`BranchBoundConfig::workers`] `> 1` the same tree is explored by
+//! subtree-splitting work stealing on the shared [`snsp_core::pool`]
+//! executor: a task is a restricted-growth *prefix* (the group choice for
+//! `order[0..depth]`), workers pop open prefixes from a
+//! [`TaskDeque`](snsp_core::pool::TaskDeque),
+//! replay the prefix pushes to rebuild the incremental state, and explore
+//! the subtree depth-first — donating untried sibling branches back to
+//! the deque whenever it runs dry. The incumbent is shared: the best cost
+//! lives in an `AtomicU64` (read lock-free at every prune check), the
+//! mapping behind a `Mutex`, updated together under the lock with a
+//! re-check. Node visit *order* and per-run node *counts* depend on the
+//! schedule, but the returned optimum cannot: a subtree is pruned only
+//! when its admissible bound is ≥ the incumbent at that moment, which is
+//! itself ≥ the final optimum — so no pruned subtree can contain a
+//! strictly better leaf, at any worker count.
+//!
+//! ```
+//! use snsp_gen::paper_instance;
+//! use snsp_solver::bb::{solve_exact, BranchBoundConfig};
+//!
+//! let inst = paper_instance(10, 0.9, 3);
+//! let serial = solve_exact(&inst, &BranchBoundConfig::default());
+//! let parallel = solve_exact(
+//!     &inst,
+//!     &BranchBoundConfig {
+//!         workers: 4,
+//!         ..Default::default()
+//!     },
+//! );
+//! // The certified optimum is worker-count-independent.
+//! assert_eq!(serial.cost, parallel.cost);
+//! assert_eq!(serial.certified_bound(), parallel.certified_bound());
+//! ```
 
 use snsp_core::constraints;
 use snsp_core::heuristics::{
@@ -41,10 +77,16 @@ use snsp_core::mapping::{Download, Mapping};
 pub struct BranchBoundConfig {
     /// Maximum number of search nodes to expand before giving up on
     /// optimality (the best solution found so far is still returned).
+    /// In the parallel search the budget is global across workers.
     pub node_budget: u64,
     /// Optional initial upper bound (e.g. a heuristic cost) to seed
     /// pruning.
     pub upper_bound: Option<u64>,
+    /// Search threads. `<= 1` runs the serial search on the calling
+    /// thread (deterministic node counts); more run the subtree-splitting
+    /// parallel search — same optimum and certified bound at any value
+    /// (see the module docs), node counts schedule-dependent.
+    pub workers: usize,
 }
 
 impl Default for BranchBoundConfig {
@@ -52,6 +94,7 @@ impl Default for BranchBoundConfig {
         BranchBoundConfig {
             node_budget: 2_000_000,
             upper_bound: None,
+            workers: 1,
         }
     }
 }
@@ -65,8 +108,23 @@ pub struct ExactResult {
     pub cost: u64,
     /// Whether the search space was exhausted (the answer is optimal).
     pub optimal: bool,
-    /// Search nodes expanded.
+    /// Search nodes expanded. Deterministic for the serial search;
+    /// schedule-dependent (but budget-bounded) for the parallel one.
     pub nodes: u64,
+}
+
+impl ExactResult {
+    /// The certified optimum, if this run proved one: `Some(cost)` iff
+    /// the search exhausted the space (`optimal`) *and* found a feasible
+    /// mapping. This is the value the refine reports' gap column divides
+    /// by; it is worker-count-independent by construction.
+    pub fn certified_bound(&self) -> Option<u64> {
+        if self.optimal && self.mapping.is_some() {
+            Some(self.cost)
+        } else {
+            None
+        }
+    }
 }
 
 /// One group under construction, with incrementally maintained demand.
@@ -366,8 +424,13 @@ impl rand::RngCore for NullRng {
     }
 }
 
-/// Runs the exact search (incremental demand maintenance).
+/// Runs the exact search (incremental demand maintenance). With
+/// `config.workers > 1` the subtree-splitting parallel search runs
+/// instead; optimum and certified bound are identical either way.
 pub fn solve_exact(inst: &Instance, config: &BranchBoundConfig) -> ExactResult {
+    if config.workers > 1 {
+        return parallel::solve(inst, config);
+    }
     let mut search = Search::new(inst, config);
     search.dfs(0);
     ExactResult {
@@ -385,6 +448,7 @@ pub fn solve_exhaustive(inst: &Instance) -> ExactResult {
         &BranchBoundConfig {
             node_budget: u64::MAX,
             upper_bound: None,
+            workers: 1,
         },
     )
 }
@@ -413,6 +477,224 @@ pub fn solve_exact_reference(inst: &Instance, config: &BranchBoundConfig) -> Exa
         optimal: !search.truncated,
         nodes: search.nodes,
         mapping: search.best,
+    }
+}
+
+/// Subtree-splitting parallel search over the shared `snsp_core::pool`
+/// executor. See the module docs for the protocol and the determinism
+/// argument.
+mod parallel {
+    use super::*;
+    use snsp_core::pool::{run_workers, TaskDeque};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// Donated subtrees must have at least this many undecided operators
+    /// left: shipping near-leaf subtrees costs more in replay than the
+    /// stolen work is worth, and tiny instances (`N < SPLIT_MARGIN`)
+    /// degenerate to one worker owning the whole tree — which must still
+    /// terminate cleanly (pinned by the starvation test).
+    const SPLIT_MARGIN: usize = 4;
+
+    /// State every worker shares. The incumbent is split in two: the
+    /// cost in an atomic (read at every prune check, lock-free) and the
+    /// mapping behind a mutex (touched only on improvement, rare). Both
+    /// are updated together under the lock, with the cost re-checked, so
+    /// `best_cost` decreases monotonically and always matches `best`.
+    struct Shared<'a> {
+        deque: TaskDeque<Vec<u32>>,
+        best_cost: AtomicU64,
+        best: Mutex<Option<Mapping>>,
+        nodes: AtomicU64,
+        budget: u64,
+        truncated: AtomicBool,
+        workers: usize,
+        inst: &'a Instance,
+    }
+
+    /// One worker: a private serial [`Search`] (its `best_cost`/`best`
+    /// fields are scratch for `evaluate_leaf`; the shared incumbent is
+    /// authoritative) plus the restricted-growth path to the subtree
+    /// root currently being explored.
+    struct Worker<'a, 'b> {
+        search: Search<'a>,
+        path: Vec<u32>,
+        shared: &'b Shared<'a>,
+    }
+
+    impl<'a, 'b> Worker<'a, 'b> {
+        /// Replays a donated prefix — rebuilding the incremental demand
+        /// state push by push — then explores its subtree. A replay push
+        /// can fail or the rebuilt bound can already exceed the
+        /// incumbent (it may have improved since donation): the task is
+        /// then abandoned, which is exactly the serial search pruning
+        /// that branch. Every applied push is unwound before returning,
+        /// so the worker's arena is clean for the next task.
+        fn run_task(&mut self, prefix: &[u32]) {
+            if self.shared.truncated.load(Ordering::Relaxed) {
+                return;
+            }
+            let mut saves: Vec<(usize, PushSave, bool)> = Vec::with_capacity(prefix.len());
+            let mut alive = true;
+            for (depth, &gv) in prefix.iter().enumerate() {
+                let op = self.search.order[depth];
+                let g = gv as usize;
+                let fresh = g == self.search.n_groups;
+                if fresh {
+                    self.open_group();
+                }
+                match self.search.push_op(g, op) {
+                    Some(save) => {
+                        saves.push((g, save, fresh));
+                        if self.search.lb_sum >= self.shared.best_cost.load(Ordering::Relaxed) {
+                            alive = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        if fresh {
+                            self.search.n_groups -= 1;
+                        }
+                        alive = false;
+                        break;
+                    }
+                }
+            }
+            if alive {
+                self.path.clear();
+                self.path.extend_from_slice(prefix);
+                self.dfs(prefix.len());
+            }
+            for (g, save, fresh) in saves.iter().rev() {
+                self.search.pop_op(*g, save);
+                if *fresh {
+                    self.search.n_groups -= 1;
+                }
+            }
+        }
+
+        /// The parallel analogue of [`Search::dfs`]: same branching
+        /// order and bound checks, but the incumbent is the shared
+        /// atomic, the node budget is global, and untried sibling
+        /// branches are donated to the deque while other workers are
+        /// starving. Replays don't count nodes, so every expanded node
+        /// is counted exactly once across the fleet.
+        fn dfs(&mut self, depth: usize) {
+            if self.shared.truncated.load(Ordering::Relaxed) {
+                return;
+            }
+            if self.shared.nodes.fetch_add(1, Ordering::Relaxed) + 1 > self.shared.budget {
+                self.shared.truncated.store(true, Ordering::Relaxed);
+                return;
+            }
+            if depth == self.search.order.len() {
+                self.evaluate_and_publish();
+                return;
+            }
+            let op = self.search.order[depth];
+            let n_existing = self.search.n_groups;
+            let mut explored_inline = false;
+            for g in 0..=n_existing {
+                let fresh = g == n_existing;
+                // Donate untried siblings once one branch is being
+                // explored inline, but only while the deque is starving
+                // and the subtree is deep enough to be worth shipping.
+                if explored_inline
+                    && self.shared.deque.queued() < self.shared.workers
+                    && depth + SPLIT_MARGIN < self.search.order.len()
+                {
+                    let mut donated = self.path.clone();
+                    donated.push(g as u32);
+                    self.shared.deque.push(donated);
+                    continue;
+                }
+                if fresh {
+                    self.open_group();
+                }
+                if let Some(save) = self.search.push_op(g, op) {
+                    if self.search.lb_sum < self.shared.best_cost.load(Ordering::Relaxed) {
+                        explored_inline = true;
+                        self.path.push(g as u32);
+                        self.dfs(depth + 1);
+                        self.path.pop();
+                    }
+                    self.search.pop_op(g, &save);
+                }
+                if fresh {
+                    self.search.n_groups -= 1;
+                }
+            }
+        }
+
+        /// Opens the next restricted-growth group in the worker's arena
+        /// (mirrors the fresh-group arm of [`Search::dfs`]).
+        fn open_group(&mut self) {
+            if self.search.n_groups == self.search.groups.len() {
+                self.search.groups.push(GroupSlot {
+                    ops: Vec::new(),
+                    work: 0.0,
+                    dl_rate: 0.0,
+                    cut_bw: 0.0,
+                    lb_cost: 0,
+                    lb_kind: 0,
+                    type_count: vec![0; self.shared.inst.objects.len()],
+                });
+            }
+            self.search.n_groups += 1;
+        }
+
+        /// Costs the complete partition through the private search's
+        /// `evaluate_leaf` (selector + full constraint check), then
+        /// publishes an improvement to the shared incumbent under the
+        /// lock with a cost re-check — another worker may have published
+        /// a better one since the lock-free screen.
+        fn evaluate_and_publish(&mut self) {
+            self.search.best_cost = self.shared.best_cost.load(Ordering::Relaxed);
+            self.search.best = None;
+            self.search.evaluate_leaf();
+            if let Some(mapping) = self.search.best.take() {
+                let cost = self.search.best_cost;
+                let mut best = self.shared.best.lock().unwrap();
+                if cost < self.shared.best_cost.load(Ordering::Relaxed) {
+                    self.shared.best_cost.store(cost, Ordering::Relaxed);
+                    *best = Some(mapping);
+                }
+            }
+        }
+    }
+
+    pub(super) fn solve(inst: &Instance, config: &BranchBoundConfig) -> ExactResult {
+        let shared = Shared {
+            deque: TaskDeque::new(vec![Vec::new()]),
+            best_cost: AtomicU64::new(config.upper_bound.unwrap_or(u64::MAX)),
+            best: Mutex::new(None),
+            nodes: AtomicU64::new(0),
+            budget: config.node_budget,
+            truncated: AtomicBool::new(false),
+            workers: config.workers,
+            inst,
+        };
+        let serial = BranchBoundConfig {
+            workers: 1,
+            ..*config
+        };
+        run_workers(config.workers, |_| {
+            let mut worker = Worker {
+                search: Search::new(inst, &serial),
+                path: Vec::new(),
+                shared: &shared,
+            };
+            while let Some(prefix) = shared.deque.pop() {
+                worker.run_task(&prefix);
+                shared.deque.complete();
+            }
+        });
+        ExactResult {
+            cost: shared.best_cost.load(Ordering::Relaxed),
+            optimal: !shared.truncated.load(Ordering::Relaxed),
+            nodes: shared.nodes.load(Ordering::Relaxed),
+            mapping: shared.best.into_inner().unwrap(),
+        }
     }
 }
 
@@ -687,6 +969,7 @@ mod tests {
             &BranchBoundConfig {
                 node_budget: 200_000,
                 upper_bound: None,
+                workers: 1,
             },
         );
         assert!(res.mapping.is_none());
@@ -700,6 +983,7 @@ mod tests {
             &BranchBoundConfig {
                 node_budget: 10,
                 upper_bound: None,
+                workers: 1,
             },
         );
         assert!(!res.optimal);
@@ -715,6 +999,100 @@ mod tests {
             let kind_cost = inst.platform.catalog.kind(0).cost;
             assert_eq!(res.cost, m.proc_count() as u64 * kind_cost);
         }
+    }
+
+    #[test]
+    fn parallel_optimum_is_worker_count_independent() {
+        // The pinned contract: same optimum, same certified bound at
+        // 1/2/4 workers, on both consolidation-light and search-heavy
+        // points. Node counts are schedule-dependent and only reported.
+        for &(n, alpha, seed) in &[(10usize, 0.9, 3u64), (8, 1.3, 0), (12, 1.6, 2)] {
+            let inst = paper_instance(n, alpha, seed);
+            let serial = solve_exact(&inst, &BranchBoundConfig::default());
+            assert!(serial.optimal);
+            for workers in [2usize, 4] {
+                let par = solve_exact(
+                    &inst,
+                    &BranchBoundConfig {
+                        workers,
+                        ..Default::default()
+                    },
+                );
+                assert_eq!(
+                    serial.cost, par.cost,
+                    "N={n} α={alpha} seed={seed} workers={workers}"
+                );
+                assert_eq!(serial.certified_bound(), par.certified_bound());
+                assert_eq!(serial.mapping.is_some(), par.mapping.is_some());
+                assert!(par.optimal, "budget headroom must keep the flag stable");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_upper_bound_seed() {
+        let inst = paper_instance(9, 1.2, 7);
+        let free = solve_exact(&inst, &BranchBoundConfig::default());
+        let seeded = solve_exact(
+            &inst,
+            &BranchBoundConfig {
+                upper_bound: Some(free.cost + 1),
+                workers: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(free.cost, seeded.cost);
+        assert_eq!(free.certified_bound(), seeded.certified_bound());
+    }
+
+    #[test]
+    fn parallel_starvation_one_worker_owns_the_whole_tree() {
+        // N < SPLIT_MARGIN: no subtree is ever deep enough to donate, so
+        // one worker explores everything while the rest spin on the
+        // deque — and must still terminate with the serial answer.
+        let inst = paper_instance(3, 0.9, 1);
+        assert!(inst.tree.len() < 4 + 1, "instance small enough to starve");
+        let serial = solve_exact(&inst, &BranchBoundConfig::default());
+        let par = solve_exact(
+            &inst,
+            &BranchBoundConfig {
+                workers: 8,
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial.cost, par.cost);
+        assert_eq!(serial.nodes, par.nodes, "starved run explores serially");
+        assert_eq!(serial.certified_bound(), par.certified_bound());
+    }
+
+    #[test]
+    fn parallel_budget_truncation_is_reported() {
+        let inst = paper_instance(14, 1.6, 4);
+        let res = solve_exact(
+            &inst,
+            &BranchBoundConfig {
+                node_budget: 10,
+                upper_bound: None,
+                workers: 4,
+            },
+        );
+        assert!(!res.optimal);
+        assert!(res.nodes >= 10, "the global budget was actually consumed");
+    }
+
+    #[test]
+    fn parallel_infeasible_instances_return_no_mapping() {
+        let inst = paper_instance(30, 2.5, 2);
+        let res = solve_exact(
+            &inst,
+            &BranchBoundConfig {
+                node_budget: 200_000,
+                upper_bound: None,
+                workers: 4,
+            },
+        );
+        assert!(res.mapping.is_none());
+        assert!(res.certified_bound().is_none());
     }
 
     #[test]

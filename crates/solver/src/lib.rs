@@ -22,6 +22,8 @@
 //! assert!(exact.cost >= lower_bound(&inst).value());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bb;
 pub mod bounds;
 pub mod ilp;

@@ -58,6 +58,10 @@ pub struct ReferenceConfig {
     /// Search-node budget per instance; exhausting it demotes the column
     /// to `optimal = false`.
     pub node_budget: u64,
+    /// Branch-and-bound worker threads per reference job (`<= 1` =
+    /// serial). An execution knob, not a semantic one: the optimum is
+    /// worker-count-independent, so it is *not* echoed in the report.
+    pub workers: usize,
 }
 
 impl Default for ReferenceConfig {
@@ -65,6 +69,7 @@ impl Default for ReferenceConfig {
         ReferenceConfig {
             max_ops: 20,
             node_budget: 500_000,
+            workers: 1,
         }
     }
 }
@@ -217,6 +222,7 @@ pub fn run_campaign(campaign: &Campaign) -> CampaignReport {
                 &BranchBoundConfig {
                     node_budget: reference.node_budget,
                     upper_bound: None,
+                    workers: reference.workers,
                 },
             );
             JobOutcome::Ref(RefOutcome {
@@ -369,6 +375,7 @@ mod tests {
             .with_reference(ReferenceConfig {
                 max_ops: 10,
                 node_budget: 200_000,
+                workers: 1,
             })
             .with_workers(2);
         let report = run_campaign(&campaign);
@@ -385,6 +392,7 @@ mod tests {
             .with_reference(ReferenceConfig {
                 max_ops: 16,
                 node_budget: 1,
+                workers: 1,
             })
             .with_workers(1);
         let report = run_campaign(&campaign);

@@ -43,9 +43,13 @@
 
 pub mod campaign;
 pub mod json;
-pub mod pool;
 pub mod schema;
 pub mod sink;
+
+/// The work-stealing executors (re-exported from [`snsp_core::pool`],
+/// where they moved so that `snsp-solver` — a dependency of this crate —
+/// can run its parallel branch-and-bound on the same pool).
+pub use snsp_core::pool;
 
 pub use campaign::{run_campaign, Campaign, PointSpec, ReferenceConfig, PIPELINE_SEED_STRIDE};
 pub use json::Json;

@@ -33,6 +33,32 @@ pub const PERF_SCHEMA_VERSION: i64 = 3;
 /// The schema version stamped into (and required of) every refine report.
 pub const REFINE_SCHEMA_VERSION: i64 = 4;
 
+/// Checks the `kind` discriminator against the kind a validator expects,
+/// producing an error that names **both** the expected and the found
+/// kind — so a cross-kind mistake (validating a serve report with the
+/// refine validator, say) reads as "wrong file", not as a pile of
+/// missing-field noise. `expected = None` means the document must be
+/// kindless (the original schema-v1 sweep report).
+fn check_kind(doc: &Json, expected: Option<&str>, errors: &mut Vec<String>) {
+    let found = doc.get("kind").and_then(Json::as_str);
+    match (expected, found) {
+        (Some(want), Some(got)) if want == got => {}
+        (Some(want), Some(got)) => errors.push(format!(
+            "kind mismatch: expected \"{want}\", found \"{got}\" — \
+             this is a BENCH_{got}.json-style document, not BENCH_{want}.json"
+        )),
+        (Some(want), None) => errors.push(format!(
+            "kind must be the string \"{want}\" (missing or not a string; \
+             kindless documents are schema-v1 sweep reports)"
+        )),
+        (None, Some(got)) => errors.push(format!(
+            "kind mismatch: expected a kindless schema-v1 sweep report, \
+             found kind \"{got}\" — validate it as BENCH_{got}.json instead"
+        )),
+        (None, None) => {}
+    }
+}
+
 /// Validates a serialized campaign report against schema v1.
 ///
 /// Returns every violation found (empty ⇒ valid); a parse failure is a
@@ -43,6 +69,7 @@ pub fn validate_report(text: &str) -> Result<(), Vec<String>> {
         Err(e) => return Err(vec![format!("not JSON: {e}")]),
     };
     let mut errors = Vec::new();
+    check_kind(&doc, None, &mut errors);
     let mut check = |cond: bool, msg: &str| {
         if !cond {
             errors.push(msg.to_string());
@@ -199,6 +226,7 @@ pub fn validate_serve_report(text: &str) -> Result<(), Vec<String>> {
         Err(e) => return Err(vec![format!("not JSON: {e}")]),
     };
     let mut errors = Vec::new();
+    check_kind(&doc, Some("serve"), &mut errors);
     let mut check = |cond: bool, msg: &str| {
         if !cond {
             errors.push(msg.to_string());
@@ -212,10 +240,6 @@ pub fn validate_serve_report(text: &str) -> Result<(), Vec<String>> {
     );
     // v3 adds config.shards and the per-row admit_latency column.
     let v3 = version == Some(SERVE_SCHEMA_VERSION);
-    check(
-        doc.get("kind").and_then(Json::as_str) == Some("serve"),
-        "kind must be the string \"serve\"",
-    );
     check(
         doc.get("generator")
             .and_then(Json::as_str)
@@ -439,6 +463,7 @@ pub fn validate_perf_report(text: &str) -> Result<(), Vec<String>> {
         Err(e) => return Err(vec![format!("not JSON: {e}")]),
     };
     let mut errors = Vec::new();
+    check_kind(&doc, Some("perf"), &mut errors);
     let mut check = |cond: bool, msg: &str| {
         if !cond {
             errors.push(msg.to_string());
@@ -448,10 +473,6 @@ pub fn validate_perf_report(text: &str) -> Result<(), Vec<String>> {
     check(
         doc.get("schema_version").and_then(Json::as_int) == Some(PERF_SCHEMA_VERSION),
         "schema_version must be the integer 3",
-    );
-    check(
-        doc.get("kind").and_then(Json::as_str) == Some("perf"),
-        "kind must be the string \"perf\"",
     );
     check(
         doc.get("generator")
@@ -691,6 +712,7 @@ pub fn validate_refine_report(text: &str) -> Result<(), Vec<String>> {
         Err(e) => return Err(vec![format!("not JSON: {e}")]),
     };
     let mut errors = Vec::new();
+    check_kind(&doc, Some("refine"), &mut errors);
     let mut check = |cond: bool, msg: &str| {
         if !cond {
             errors.push(msg.to_string());
@@ -700,10 +722,6 @@ pub fn validate_refine_report(text: &str) -> Result<(), Vec<String>> {
     check(
         doc.get("schema_version").and_then(Json::as_int) == Some(REFINE_SCHEMA_VERSION),
         "schema_version must be the integer 4",
-    );
-    check(
-        doc.get("kind").and_then(Json::as_str) == Some("refine"),
-        "kind must be the string \"refine\"",
     );
     check(
         doc.get("generator")
@@ -935,6 +953,7 @@ mod tests {
         .with_reference(ReferenceConfig {
             max_ops: 10,
             node_budget: 100_000,
+            workers: 1,
         })
         .with_workers(2);
         run_campaign(&campaign).render_json(include_timing)
@@ -1278,6 +1297,44 @@ mod tests {
         assert!(validate_report(&refine).is_err());
         assert!(validate_serve_report(&refine).is_err());
         assert!(validate_perf_report(&refine).is_err());
+    }
+
+    #[test]
+    fn cross_kind_errors_name_expected_and_found_kinds() {
+        // Wrong-validator mistakes must read as "wrong file": the error
+        // names the kind the validator wanted AND the kind it found.
+        let errors = validate_serve_report(&refine_doc()).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("expected \"serve\"") && e.contains("found \"refine\"")),
+            "{errors:?}"
+        );
+        let errors = validate_refine_report(&perf_doc()).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("expected \"refine\"") && e.contains("found \"perf\"")),
+            "{errors:?}"
+        );
+        // The kindless v1 validator names the found kind too, and points
+        // at the right validator.
+        let errors = validate_report(&serve_doc()).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("found kind \"serve\"") && e.contains("kindless")),
+            "{errors:?}"
+        );
+        // A kinded validator fed a kindless document says what kindless
+        // documents are, instead of a bare rejection.
+        let errors = validate_perf_report(&rendered(false)).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("\"perf\"") && e.contains("schema-v1")),
+            "{errors:?}"
+        );
     }
 
     #[test]

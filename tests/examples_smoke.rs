@@ -162,6 +162,7 @@ fn cloud_budget_core_path() {
             &BranchBoundConfig {
                 node_budget: 300_000,
                 upper_bound: None,
+                workers: 1,
             },
         );
         if exact.mapping.is_some() {
@@ -266,6 +267,7 @@ fn campaign_core_path() {
     let campaign = Campaign::new("example", points, 2).with_reference(ReferenceConfig {
         max_ops: 12,
         node_budget: 200_000,
+        workers: 1,
     });
     let report = run_campaign(&campaign);
     assert_eq!(report.points.len(), 2);
