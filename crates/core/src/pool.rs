@@ -19,13 +19,72 @@
 //!   returns `None` only when every task — queued *or* in flight — has
 //!   completed, so late splits can never be dropped.
 //!
-//! The module lives in `snsp-core` (pure `std`, no dependencies) so that
-//! both the campaign layer above (`snsp-sweep`) and the exact solver
-//! below it (`snsp-solver`, a *dependency* of `snsp-sweep`) can share
-//! one executor implementation.
+//! The module lives in `snsp-core` (pure `std` + the dependency-free
+//! telemetry leaf crate) so that both the campaign layer above
+//! (`snsp-sweep`) and the exact solver below it (`snsp-solver`, a
+//! *dependency* of `snsp-sweep`) can share one executor implementation.
+//!
+//! Both executors surface a [`PoolStats`] snapshot (steals, donations,
+//! peak queue depth) independent of whether telemetry collection is on:
+//! [`run_jobs_stats`] returns one alongside the results, and
+//! [`TaskDeque::stats`] reads one off the live deque. When telemetry
+//! *is* enabled the same events also feed the overlay-class
+//! `pool.steals` / `pool.donations` counters, the
+//! `pool.peak_queue_depth` gauge and the `pool.worker.busy` /
+//! `pool.worker.idle` spans — all scheduling-dependent, so none of them
+//! ever enters stable-form artifacts.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use snsp_telemetry::{Class, Counter, Gauge, Span as TraceSpan, SpanGuard};
+
+static POOL_STEALS: Counter = Counter::new("pool.steals", Class::Overlay);
+static POOL_DONATIONS: Counter = Counter::new("pool.donations", Class::Overlay);
+static POOL_PEAK_QUEUE: Gauge = Gauge::new("pool.peak_queue_depth", Class::Overlay);
+static POOL_BUSY: TraceSpan = TraceSpan::new("pool.worker.busy");
+static POOL_IDLE: TraceSpan = TraceSpan::new("pool.worker.idle");
+
+/// Scheduling diagnostics from one executor run: how much work moved
+/// between workers. Available even when telemetry collection is off —
+/// the counts ride dedicated atomics, not the global registry. The
+/// values are scheduling-dependent (never part of any deterministic
+/// contract); only their *possibility* is asserted by tests (a
+/// multi-worker dynamic run always steals at least once, because the
+/// seed task is pushed by the coordinating thread and popped by a
+/// worker).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks (or job-index blocks) claimed by a thread other than the
+    /// one that enqueued them.
+    pub steals: u64,
+    /// Tasks pushed into the shared frontier while workers were already
+    /// running (static pools never donate; [`TaskDeque::push`] counts).
+    pub donations: u64,
+    /// Largest observed queue depth (static pools: the largest initial
+    /// span).
+    pub peak_queue: usize,
+}
+
+/// Process-unique token of the calling thread (1-based; assigned on
+/// first use). `ThreadId` would do, but its integer form is unstable.
+fn thread_token() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(1);
+    thread_local! {
+        static TOKEN: Cell<usize> = const { Cell::new(0) };
+    }
+    TOKEN.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            v
+        } else {
+            let v = NEXT.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+            v
+        }
+    })
+}
 
 /// A contiguous range `[lo, hi)` of unclaimed job indices.
 #[derive(Debug, Clone, Copy)]
@@ -50,12 +109,37 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_jobs_stats(n_jobs, workers, job).0
+}
+
+/// [`run_jobs`] returning a [`PoolStats`] snapshot alongside the
+/// results: steals = back-half range claims from a victim span,
+/// donations = 0 (the static pool never grows its frontier), peak queue
+/// depth = the largest initial span.
+pub fn run_jobs_stats<T, F>(n_jobs: usize, workers: usize, job: F) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if n_jobs == 0 {
-        return Vec::new();
+        return (Vec::new(), PoolStats::default());
     }
     let workers = workers.clamp(1, n_jobs);
     if workers == 1 {
-        return (0..n_jobs).map(job).collect();
+        let out = (0..n_jobs)
+            .map(|i| {
+                let _busy = POOL_BUSY.start();
+                job(i)
+            })
+            .collect();
+        return (
+            out,
+            PoolStats {
+                steals: 0,
+                donations: 0,
+                peak_queue: n_jobs,
+            },
+        );
     }
 
     // Initial even split of `0..n_jobs` into one span per worker.
@@ -67,12 +151,19 @@ where
         })
         .collect();
     let slots: Vec<Mutex<Option<T>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let peak_queue = (0..workers)
+        .map(|w| (w + 1) * n_jobs / workers - w * n_jobs / workers)
+        .max()
+        .unwrap_or(0);
+    POOL_PEAK_QUEUE.record_max(peak_queue as u64);
+    let steals = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for w in 0..workers {
             let queues = &queues;
             let slots = &slots;
             let job = &job;
+            let steals = &steals;
             scope.spawn(move || loop {
                 // Pop from the front of our own span.
                 let mine = {
@@ -86,6 +177,7 @@ where
                     }
                 };
                 if let Some(i) = mine {
+                    let _busy = POOL_BUSY.start();
                     *slots[i].lock().unwrap() = Some(job(i));
                     continue;
                 }
@@ -113,20 +205,30 @@ where
                     }
                 };
                 if let Some(s) = stolen {
+                    steals.fetch_add(1, Ordering::Relaxed);
+                    POOL_STEALS.incr();
                     *queues[w].lock().unwrap() = s;
                 }
             });
         }
     });
 
-    slots
+    let out = slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .unwrap()
                 .expect("every job index was claimed exactly once")
         })
-        .collect()
+        .collect();
+    (
+        out,
+        PoolStats {
+            steals: steals.into_inner(),
+            donations: 0,
+            peak_queue,
+        },
+    )
 }
 
 /// A shared LIFO deque of dynamically discovered tasks.
@@ -165,22 +267,36 @@ where
 /// `snsp_solver::bb`'s parallel search follows (monotone shared
 /// incumbent; final optimum independent of visit order).
 pub struct TaskDeque<T> {
-    queue: Mutex<Vec<T>>,
+    /// Each entry carries the [`thread_token`] of the thread that
+    /// enqueued it, so a pop by a different thread counts as a steal.
+    queue: Mutex<Vec<(usize, T)>>,
     /// Tasks queued plus tasks popped-but-not-completed; `0` ⇒ drained.
     pending: AtomicUsize,
     /// Mirror of `queue.len()`, readable without the lock (split
     /// heuristics only — always a hint, never load-bearing).
     queued: AtomicUsize,
+    /// Pops whose entry was enqueued by a different thread.
+    steals: AtomicU64,
+    /// [`push`](Self::push) calls (splits donated while running).
+    donations: AtomicU64,
+    /// Largest queue length ever observed under the lock.
+    peak_queue: AtomicUsize,
 }
 
 impl<T> TaskDeque<T> {
-    /// A deque seeded with the initial task set.
+    /// A deque seeded with the initial task set (attributed to the
+    /// calling thread — in a multi-worker run the first worker to claim
+    /// a seed task therefore always registers a steal).
     pub fn new(initial: Vec<T>) -> Self {
         let n = initial.len();
+        let token = thread_token();
         TaskDeque {
-            queue: Mutex::new(initial),
+            queue: Mutex::new(initial.into_iter().map(|t| (token, t)).collect()),
             pending: AtomicUsize::new(n),
             queued: AtomicUsize::new(n),
+            steals: AtomicU64::new(0),
+            donations: AtomicU64::new(0),
+            peak_queue: AtomicUsize::new(n),
         }
     }
 
@@ -189,27 +305,49 @@ impl<T> TaskDeque<T> {
     /// task keeps the deque alive until [`complete`](Self::complete).
     pub fn push(&self, task: T) {
         self.pending.fetch_add(1, Ordering::SeqCst);
+        self.donations.fetch_add(1, Ordering::Relaxed);
+        POOL_DONATIONS.incr();
         let mut queue = self.queue.lock().unwrap();
-        queue.push(task);
+        queue.push((thread_token(), task));
         self.queued.store(queue.len(), Ordering::Relaxed);
+        self.peak_queue.fetch_max(queue.len(), Ordering::Relaxed);
+        POOL_PEAK_QUEUE.record_max(queue.len() as u64);
     }
 
     /// Pops the most recently pushed open task; blocks (yielding) while
     /// the deque is momentarily empty but other workers hold in-flight
     /// tasks, and returns `None` once everything has completed.
     pub fn pop(&self) -> Option<T> {
+        let mut idle: Option<SpanGuard> = None;
         loop {
             {
                 let mut queue = self.queue.lock().unwrap();
-                if let Some(task) = queue.pop() {
+                if let Some((token, task)) = queue.pop() {
                     self.queued.store(queue.len(), Ordering::Relaxed);
+                    if token != thread_token() {
+                        self.steals.fetch_add(1, Ordering::Relaxed);
+                        POOL_STEALS.incr();
+                    }
                     return Some(task);
                 }
             }
             if self.pending.load(Ordering::SeqCst) == 0 {
                 return None;
             }
+            if idle.is_none() {
+                idle = Some(POOL_IDLE.start());
+            }
             std::thread::yield_now();
+        }
+    }
+
+    /// A [`PoolStats`] snapshot of the deque so far. Stable only once
+    /// every worker has drained ([`pop`](Self::pop) returned `None`).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            steals: self.steals.load(Ordering::Relaxed),
+            donations: self.donations.load(Ordering::Relaxed),
+            peak_queue: self.peak_queue.load(Ordering::Relaxed),
         }
     }
 
@@ -356,5 +494,61 @@ mod tests {
         deque.push(9);
         assert_eq!(deque.pop(), Some(9));
         assert_eq!(deque.queued(), 2);
+    }
+
+    #[test]
+    fn run_jobs_stats_are_surfaced_without_telemetry() {
+        // Serial: nothing to steal, the whole grid is one span.
+        let (out, stats) = run_jobs_stats(9, 1, |i| i);
+        assert_eq!(out, (0..9).collect::<Vec<_>>());
+        assert_eq!(
+            stats,
+            PoolStats {
+                steals: 0,
+                donations: 0,
+                peak_queue: 9,
+            }
+        );
+        // Front-loaded long jobs force the later workers to steal.
+        let (_, stats) = run_jobs_stats(24, 4, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            i
+        });
+        assert!(stats.steals > 0, "starved workers must have stolen");
+        assert_eq!(stats.donations, 0, "the static pool never donates");
+        assert_eq!(stats.peak_queue, 6);
+    }
+
+    #[test]
+    fn task_deque_counts_donations_and_seed_steals() {
+        // Serial drain on the seeding thread: no steals, only donations.
+        let deque = TaskDeque::new(vec![0u32]);
+        while let Some(d) = deque.pop() {
+            if d < 2 {
+                deque.push(d + 1);
+            }
+            deque.complete();
+        }
+        let stats = deque.stats();
+        assert_eq!(stats.steals, 0, "same-thread pops are not steals");
+        assert_eq!(stats.donations, 2);
+        assert!(stats.peak_queue >= 1);
+
+        // Multi-worker: the seed task was pushed by this thread and is
+        // popped by a spawned worker, so at least one steal is certain.
+        let deque = TaskDeque::new(vec![0u32]);
+        run_workers(4, |_| {
+            while let Some(d) = deque.pop() {
+                if d < 4 {
+                    deque.push(d + 1);
+                    deque.push(d + 1);
+                }
+                deque.complete();
+            }
+        });
+        assert!(deque.stats().steals > 0, "cross-thread seed claim");
+        assert_eq!(deque.stats().donations, 30);
     }
 }

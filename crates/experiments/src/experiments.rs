@@ -255,11 +255,13 @@ pub fn refine_tables(report: &snsp_search::RefineCampaignReport, title: &str) ->
             "improved",
             "exact ($)",
             "gap vs exact",
+            "bb nodes",
+            "certified bound",
             "lower bound",
         ],
     );
     for p in &report.points {
-        let (exact_cost, gap) = match &p.exact {
+        let (exact_cost, gap, nodes, bound) = match &p.exact {
             Some(e) => (
                 fmt_cost(e.mean_cost),
                 // The gap is computed over certified (untruncated) seeds
@@ -271,8 +273,21 @@ pub fn refine_tables(report: &snsp_search::RefineCampaignReport, title: &str) ->
                     (Some(g), false) => format!("{g:.1}% (certified seeds)"),
                     (None, _) => "truncated".into(),
                 },
+                // Nodes expanded say how far the budget got; on
+                // truncated seeds the certified bound is what the
+                // incumbent is still provably above.
+                if e.truncated > 0 {
+                    format!(
+                        "{:.0} (truncated {}/{})",
+                        e.mean_nodes, e.truncated, e.solved
+                    )
+                } else {
+                    format!("{:.0}", e.mean_nodes)
+                },
+                e.mean_bound
+                    .map_or_else(|| "-".to_string(), |b| format!("{b:.0}")),
             ),
-            None => ("-".to_string(), "-".to_string()),
+            None => ("-".into(), "-".into(), "-".into(), "-".into()),
         };
         t.push(vec![
             p.label.clone(),
@@ -282,6 +297,8 @@ pub fn refine_tables(report: &snsp_search::RefineCampaignReport, title: &str) ->
             format!("{}/{}", p.improved, p.feasible),
             exact_cost,
             gap,
+            nodes,
+            bound,
             format!("{:.0}", p.mean_lower_bound),
         ]);
     }

@@ -31,7 +31,8 @@
 //!                       [--out DIR]
 //!   Times the incremental demand engine against its retained reference
 //!   oracles (heuristic pipelines, branch-and-bound, raw demand probes)
-//!   and writes BENCH_perf.json (schema v3, byte-stable layout).
+//!   and writes BENCH_perf.json (schema v4 with the peak-RSS gauge,
+//!   byte-stable layout).
 //!
 //! snsp-experiments refine --grid <ci|fig2|large-n>
 //!                         [--seeds K] [--workers W] [--bb-workers B]
@@ -44,15 +45,28 @@
 //!
 //! snsp-experiments validate <PATH>
 //!   Schema-checks a BENCH_sweep.json (v1), BENCH_serve.json (v3, v2
-//!   accepted), BENCH_perf.json (v3) or BENCH_refine.json (v4) — the kinded
-//!   documents sniffed via their "kind" discriminator; exits non-zero on
-//!   violations (cross-kind files are rejected with the mismatching
-//!   fields spelled out).
+//!   accepted), BENCH_perf.json (v4), BENCH_refine.json (v4) or
+//!   TELEMETRY.json (v5) — the kinded documents sniffed via their "kind"
+//!   discriminator; exits non-zero on violations (cross-kind files are
+//!   rejected with the mismatching fields spelled out).
+//!
+//! snsp-experiments telemetry-summary <PATH>
+//!   Renders a TELEMETRY.json as human-readable tables: deterministic
+//!   counters and histograms, then the wall-clock overlay (gauges,
+//!   spans, latency percentiles).
+//!
+//! The sweep, serve, perf and refine subcommands accept --telemetry
+//! (capture counters/histograms/spans across the run) and
+//! --telemetry-out PATH (implies --telemetry; default
+//! <out>/TELEMETRY.json). With --stable-json the wall-clock overlay is
+//! nulled, leaving the deterministic core — byte-identical at any
+//! worker count.
 //! ```
 
 mod experiments;
 mod perf;
 mod table;
+mod telemetry;
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -61,7 +75,7 @@ use snsp_search::run_refine_campaign;
 use snsp_serve::run_serve_campaign;
 use snsp_sweep::{
     run_campaign, validate_perf_report, validate_refine_report, validate_report,
-    validate_serve_report, ReferenceConfig,
+    validate_serve_report, validate_telemetry_report, ReferenceConfig,
 };
 use table::Table;
 
@@ -77,6 +91,8 @@ struct Args {
     stable_json: bool,
     reference: bool,
     validate_path: Option<PathBuf>,
+    telemetry: bool,
+    telemetry_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -94,11 +110,14 @@ fn parse_args() -> Result<Args, String> {
         stable_json: false,
         reference: false,
         validate_path: None,
+        telemetry: false,
+        telemetry_out: None,
     };
-    if parsed.experiment == "validate" {
-        parsed.validate_path = Some(PathBuf::from(
-            args.next().ok_or("validate needs a JSON path")?,
-        ));
+    if parsed.experiment == "validate" || parsed.experiment == "telemetry-summary" {
+        parsed.validate_path =
+            Some(PathBuf::from(args.next().ok_or_else(|| {
+                format!("{} needs a JSON path", parsed.experiment)
+            })?));
         return Ok(parsed);
     }
     while let Some(flag) = args.next() {
@@ -145,6 +164,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--stable-json" => parsed.stable_json = true,
             "--reference" => parsed.reference = true,
+            "--telemetry" => parsed.telemetry = true,
+            "--telemetry-out" => {
+                parsed.telemetry = true;
+                parsed.telemetry_out = Some(PathBuf::from(
+                    args.next().ok_or("--telemetry-out needs a path")?,
+                ));
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -155,14 +181,74 @@ fn usage() -> String {
     "usage: snsp-experiments <table1|fig2a|fig2b|fig3|fig3n20|large|lowfreq|rates|vsopt|engine|\
      bounds|mutable|budget|multiapp|all> [--seeds K] [--out DIR]\n\
      \u{20}      snsp-experiments sweep --grid <ID> [--seeds K] [--workers W] [--reference] \
-     [--bb-workers B] [--json PATH] [--stable-json] [--out DIR]\n\
+     [--bb-workers B] [--json PATH] [--stable-json] [--out DIR] \
+     [--telemetry] [--telemetry-out PATH]\n\
      \u{20}      snsp-experiments serve --grid <ID> [--seeds K] [--workers W] \
-     [--replay-workers R] [--json PATH] [--stable-json] [--out DIR]\n\
-     \u{20}      snsp-experiments perf --grid <ci|large-n> [--seeds K] [--json PATH] [--out DIR]\n\
+     [--replay-workers R] [--json PATH] [--stable-json] [--out DIR] \
+     [--telemetry] [--telemetry-out PATH]\n\
+     \u{20}      snsp-experiments perf --grid <ci|large-n> [--seeds K] [--json PATH] [--out DIR] \
+     [--telemetry] [--telemetry-out PATH]\n\
      \u{20}      snsp-experiments refine --grid <ci|fig2|large-n> [--seeds K] [--workers W] \
-     [--bb-workers B] [--json PATH] [--stable-json] [--out DIR]\n\
-     \u{20}      snsp-experiments validate <PATH>"
+     [--bb-workers B] [--json PATH] [--stable-json] [--out DIR] \
+     [--telemetry] [--telemetry-out PATH]\n\
+     \u{20}      snsp-experiments validate <PATH>\n\
+     \u{20}      snsp-experiments telemetry-summary <PATH>"
         .to_string()
+}
+
+/// Runs `f` under an exclusive telemetry capture session when `--telemetry`
+/// was passed; otherwise runs it bare.
+fn run_captured<R>(on: bool, f: impl FnOnce() -> R) -> (R, Option<snsp_telemetry::Snapshot>) {
+    if on {
+        let (r, snap) = snsp_telemetry::capture(f);
+        (r, Some(snap))
+    } else {
+        (f(), None)
+    }
+}
+
+/// Validates and writes `TELEMETRY.json` (schema v5) for a captured
+/// snapshot. `--stable-json` nulls the wall-clock overlay, leaving only
+/// the deterministic core — byte-identical at any worker count.
+fn write_telemetry(
+    args: &Args,
+    snap: Option<snsp_telemetry::Snapshot>,
+    campaign: &str,
+) -> Result<(), String> {
+    let Some(snap) = snap else {
+        return Ok(());
+    };
+    let body = telemetry::telemetry_json(&snap, campaign, args.stable_json).render();
+    validate_telemetry_report(&body)
+        .map_err(|errors| format!("generated telemetry report failed validation: {errors:?}"))?;
+    let path = args
+        .telemetry_out
+        .clone()
+        .unwrap_or_else(|| args.out_dir.join("TELEMETRY.json"));
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&path, &body).map_err(|e| format!("could not write {}: {e}", path.display()))?;
+    println!("[telemetry] {}", path.display());
+    Ok(())
+}
+
+/// The `telemetry-summary` subcommand: validates a `TELEMETRY.json` and
+/// prints its counters, histograms, gauges and spans as aligned tables.
+fn run_summary(path: &PathBuf) -> Result<(), String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+    validate_telemetry_report(&body).map_err(|errors| {
+        format!(
+            "{}: not a valid telemetry report: {errors:?}",
+            path.display()
+        )
+    })?;
+    let doc = snsp_sweep::json::parse(&body).map_err(|e| format!("not JSON: {e}"))?;
+    for t in telemetry::summary_tables(&doc) {
+        println!("{}", t.render());
+    }
+    Ok(())
 }
 
 fn run_one(id: &str, seeds: u64) -> Result<Vec<Table>, String> {
@@ -223,7 +309,7 @@ fn run_sweep(args: &Args) -> Result<(), String> {
         r.workers = b;
     }
 
-    let report = run_campaign(&campaign);
+    let (report, telem) = run_captured(args.telemetry, || run_campaign(&campaign));
     let tables = experiments::report_tables(&report, &format!("campaign {grid_id}"), "point");
     write_tables(&format!("sweep_{grid_id}"), &tables, &args.out_dir);
 
@@ -240,6 +326,7 @@ fn run_sweep(args: &Args) -> Result<(), String> {
     std::fs::write(&json_path, &body)
         .map_err(|e| format!("could not write {}: {e}", json_path.display()))?;
     println!("[json] {}", json_path.display());
+    write_telemetry(args, telem, &format!("sweep {grid_id}"))?;
     if let Some(t) = &report.timing {
         println!(
             "[sweep {grid_id}] {} jobs on {} workers: flatten {:.3}s, run {:.3}s, \
@@ -269,7 +356,7 @@ fn run_serve(args: &Args) -> Result<(), String> {
         campaign = campaign.with_shards(shards, r);
     }
 
-    let report = run_serve_campaign(&campaign);
+    let (report, telem) = run_captured(args.telemetry, || run_serve_campaign(&campaign));
     let tables = experiments::serve_tables(&report, &format!("serve campaign {grid_id}"));
     write_tables(&format!("serve_{grid_id}"), &tables, &args.out_dir);
 
@@ -286,6 +373,7 @@ fn run_serve(args: &Args) -> Result<(), String> {
     std::fs::write(&json_path, &body)
         .map_err(|e| format!("could not write {}: {e}", json_path.display()))?;
     println!("[json] {}", json_path.display());
+    write_telemetry(args, telem, &format!("serve {grid_id}"))?;
     if let Some(t) = &report.timing {
         println!(
             "[serve {grid_id}] {} traces on {} workers: run {:.3}s, total {:.3}s",
@@ -313,7 +401,7 @@ fn run_refine(args: &Args) -> Result<(), String> {
         r.workers = b;
     }
 
-    let report = run_refine_campaign(&campaign);
+    let (report, telem) = run_captured(args.telemetry, || run_refine_campaign(&campaign));
     let tables = experiments::refine_tables(&report, &format!("refine campaign {grid_id}"));
     write_tables(&format!("refine_{grid_id}"), &tables, &args.out_dir);
 
@@ -330,6 +418,7 @@ fn run_refine(args: &Args) -> Result<(), String> {
     std::fs::write(&json_path, &body)
         .map_err(|e| format!("could not write {}: {e}", json_path.display()))?;
     println!("[json] {}", json_path.display());
+    write_telemetry(args, telem, &format!("refine {grid_id}"))?;
     if let Some(t) = &report.timing {
         println!(
             "[refine {grid_id}] {} jobs on {} workers: run {:.3}s, total {:.3}s",
@@ -343,10 +432,11 @@ fn run_validate(path: &PathBuf) -> Result<(), String> {
     let body = std::fs::read_to_string(path)
         .map_err(|e| format!("could not read {}: {e}", path.display()))?;
     // Sniff the document kind: serve reports carry `"kind": "serve"`,
-    // perf reports `"kind": "perf"`, refine reports `"kind": "refine"`;
-    // campaign reports (v1) have no kind. An unrecognized kind falls
-    // through to the v1 validator, which rejects it with the mismatching
-    // fields named — cross-kind files never validate silently.
+    // perf reports `"kind": "perf"`, refine reports `"kind": "refine"`,
+    // telemetry reports `"kind": "telemetry"`; campaign reports (v1)
+    // have no kind. An unrecognized kind falls through to the v1
+    // validator, which rejects it with the mismatching fields named —
+    // cross-kind files never validate silently.
     let kind = snsp_sweep::json::parse(&body).ok().and_then(|doc| {
         doc.get("kind")
             .and_then(snsp_sweep::Json::as_str)
@@ -357,10 +447,14 @@ fn run_validate(path: &PathBuf) -> Result<(), String> {
             "BENCH_serve.json (schema v2/v3)",
             validate_serve_report(&body),
         ),
-        Some("perf") => ("BENCH_perf.json (schema v3)", validate_perf_report(&body)),
+        Some("perf") => ("BENCH_perf.json (schema v4)", validate_perf_report(&body)),
         Some("refine") => (
             "BENCH_refine.json (schema v4)",
             validate_refine_report(&body),
+        ),
+        Some("telemetry") => (
+            "TELEMETRY.json (schema v5)",
+            validate_telemetry_report(&body),
         ),
         _ => ("BENCH_sweep.json (schema v1)", validate_report(&body)),
     };
@@ -391,7 +485,7 @@ fn run_perf(args: &Args) -> Result<(), String> {
     })?;
 
     let started = Instant::now();
-    let report = perf::run_perf(&campaign);
+    let (report, telem) = run_captured(args.telemetry, || perf::run_perf(&campaign));
     let tables = report.tables();
     write_tables(&format!("perf_{grid_id}"), &tables, &args.out_dir);
 
@@ -408,6 +502,7 @@ fn run_perf(args: &Args) -> Result<(), String> {
     std::fs::write(&json_path, &body)
         .map_err(|e| format!("could not write {}: {e}", json_path.display()))?;
     println!("[json] {}", json_path.display());
+    write_telemetry(args, telem, &format!("perf {grid_id}"))?;
     println!(
         "[perf {grid_id}] measured in {:.1}s",
         started.elapsed().as_secs_f64()
@@ -425,7 +520,12 @@ fn main() {
     };
 
     if let Some(path) = &args.validate_path {
-        if let Err(e) = run_validate(path) {
+        let outcome = if args.experiment == "telemetry-summary" {
+            run_summary(path)
+        } else {
+            run_validate(path)
+        };
+        if let Err(e) = outcome {
             eprintln!("{e}");
             std::process::exit(1);
         }

@@ -18,10 +18,11 @@
 //!    feasibility sweep growing one group across a large tree, probe
 //!    API vs oracle recompute.
 //!
-//! The output is the schema-v3 `BENCH_perf.json` (see
+//! The output is the schema-v4 `BENCH_perf.json` (see
 //! `snsp_sweep::validate_perf_report`): byte-stable layout, measured
-//! values. Wall-clock numbers vary between machines; the structural and
-//! equality invariants do not.
+//! values, plus the process peak-RSS high-water mark (`null` off
+//! Linux). Wall-clock numbers vary between machines; the structural
+//! and equality invariants do not.
 
 use std::time::Instant;
 
@@ -187,6 +188,9 @@ pub struct PerfReport {
     heuristics: Vec<Vec<HeurRow>>,
     bb: Vec<BbRow>,
     probe: ProbeResult,
+    /// Peak RSS of the measuring process in kB (`None` when the
+    /// platform offers no `/proc/self/status`).
+    peak_rss_kb: Option<u64>,
 }
 
 fn speedup(oracle_ms: f64, incremental_ms: f64) -> f64 {
@@ -280,6 +284,7 @@ pub fn run_perf(campaign: &PerfCampaign) -> PerfReport {
 
     let probe = run_probe(campaign.probe_n_ops);
 
+    let rss = snsp_telemetry::peak_rss_kb();
     PerfReport {
         campaign: campaign.id,
         seeds: campaign.seeds,
@@ -289,6 +294,7 @@ pub fn run_perf(campaign: &PerfCampaign) -> PerfReport {
         heuristics,
         bb,
         probe,
+        peak_rss_kb: (rss > 0).then_some(rss),
     }
 }
 
@@ -346,7 +352,7 @@ fn run_probe(n: usize) -> ProbeResult {
 }
 
 impl PerfReport {
-    /// Serializes schema v3 (layout is fixed; values are measurements).
+    /// Serializes schema v4 (layout is fixed; values are measurements).
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("schema_version", Json::Int(snsp_sweep::PERF_SCHEMA_VERSION)),
@@ -430,6 +436,13 @@ impl PerfReport {
                             ("accepted_match", Json::Bool(self.probe.accepted_match)),
                         ]),
                     ),
+                    (
+                        "peak_rss_kb",
+                        match self.peak_rss_kb {
+                            Some(kb) => Json::Int(kb as i64),
+                            None => Json::Null,
+                        },
+                    ),
                 ]),
             ),
         ])
@@ -502,7 +515,7 @@ impl PerfReport {
                 "perf-{} — demand probe microbench (N = {})",
                 self.campaign, self.probe_n_ops
             ),
-            &["probes", "incr ms", "oracle ms", "speedup"],
+            &["probes", "incr ms", "oracle ms", "speedup", "peak rss kb"],
         );
         probe.push(vec![
             self.probe.probes.to_string(),
@@ -512,6 +525,8 @@ impl PerfReport {
                 "{:.1}x",
                 speedup(self.probe.oracle_ms, self.probe.incremental_ms)
             ),
+            self.peak_rss_kb
+                .map_or_else(|| "-".to_string(), |kb| kb.to_string()),
         ]);
         vec![heur, bb, probe]
     }
@@ -575,7 +590,7 @@ mod tests {
     }
 
     #[test]
-    fn perf_report_round_trips_through_schema_v3() {
+    fn perf_report_round_trips_through_schema_v4() {
         // A trimmed ci-style campaign, cheap enough for a unit test.
         let campaign = PerfCampaign {
             id: "ci",
@@ -600,5 +615,11 @@ mod tests {
         assert!(report.heuristics[0].iter().all(|r| r.costs_match));
         assert!(report.bb.iter().all(|r| r.costs_match));
         assert!(report.probe.accepted_match);
+        // Linux CI measures a real high-water mark; elsewhere the gauge
+        // degrades to the explicit null the schema allows.
+        if cfg!(target_os = "linux") {
+            assert!(report.peak_rss_kb.is_some_and(|kb| kb > 0));
+            assert!(body.contains("\"peak_rss_kb\""));
+        }
     }
 }

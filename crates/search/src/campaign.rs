@@ -133,8 +133,21 @@ struct JobResult {
     refined_cost: Option<u64>,
     evals: u64,
     accepted: u64,
-    exact: Option<(u64, bool)>,
+    exact: Option<ExactRun>,
     lb: u64,
+}
+
+/// One seed's exact-reference outcome (mapping found).
+#[derive(Debug, Clone, Copy)]
+struct ExactRun {
+    cost: u64,
+    optimal: bool,
+    /// Nodes the branch-and-bound expanded before finishing (or before
+    /// the node budget truncated it).
+    nodes: u64,
+    /// The certified lower bound: the cost itself when proven optimal,
+    /// the analytic bound otherwise.
+    bound: u64,
 }
 
 /// Aggregated refinement of one scenario point.
@@ -177,6 +190,14 @@ pub struct ExactColumn {
     /// Largest per-seed `(refined − exact) / exact` in percent, over
     /// seeds where the search completed; `None` when none did.
     pub max_gap_pct: Option<f64>,
+    /// Mean branch-and-bound nodes expanded per solved seed — on
+    /// truncated seeds, how far the budget got before cutting off.
+    pub mean_nodes: f64,
+    /// Mean certified lower bound per solved seed (the optimum itself
+    /// when proven, the analytic bound otherwise).
+    pub mean_bound: Option<f64>,
+    /// Solved seeds whose search the node budget truncated.
+    pub truncated: usize,
 }
 
 impl RefinePointReport {
@@ -192,21 +213,18 @@ impl RefinePointReport {
             .count();
         let never_worse = feasible.iter().all(|r| r.refined_cost <= r.start_cost);
         let exact = with_exact.then(|| {
-            let solved: Vec<&&JobResult> = feasible.iter().filter(|r| r.exact.is_some()).collect();
+            let solved: Vec<ExactRun> = feasible.iter().filter_map(|r| r.exact).collect();
             // Vacuous truth guard: zero solved seeds certify nothing.
-            let optimal = !solved.is_empty() && solved.iter().all(|r| r.exact.unwrap().1);
-            let mean_cost = (!solved.is_empty()).then(|| {
-                solved
-                    .iter()
-                    .map(|r| r.exact.unwrap().0 as f64)
-                    .sum::<f64>()
-                    / solved.len() as f64
-            });
-            let gaps: Vec<f64> = solved
+            let optimal = !solved.is_empty() && solved.iter().all(|e| e.optimal);
+            let mean_over = |f: &dyn Fn(&ExactRun) -> f64| {
+                (!solved.is_empty())
+                    .then(|| solved.iter().map(f).sum::<f64>() / solved.len() as f64)
+            };
+            let gaps: Vec<f64> = feasible
                 .iter()
-                .filter(|r| r.exact.unwrap().1)
-                .filter_map(|r| {
-                    let exact = r.exact.unwrap().0 as f64;
+                .filter_map(|r| r.exact.filter(|e| e.optimal).map(|e| (r, e)))
+                .filter_map(|(r, e)| {
+                    let exact = e.cost as f64;
                     r.refined_cost
                         .map(|c| 100.0 * (c as f64 - exact) / exact.max(1.0))
                 })
@@ -214,8 +232,11 @@ impl RefinePointReport {
             ExactColumn {
                 solved: solved.len(),
                 optimal,
-                mean_cost,
+                mean_cost: mean_over(&|e| e.cost as f64),
                 max_gap_pct: gaps.iter().copied().reduce(f64::max),
+                mean_nodes: mean_over(&|e| e.nodes as f64).unwrap_or(0.0),
+                mean_bound: mean_over(&|e| e.bound as f64),
+                truncated: solved.iter().filter(|e| !e.optimal).count(),
             }
         });
         RefinePointReport {
@@ -396,7 +417,12 @@ fn run_job(campaign: &RefineCampaign, point: &RefinePoint, seed: u64) -> JobResu
                 workers: r.workers,
             };
             let res = solve_exact(&inst, &config);
-            res.mapping.as_ref().map(|_| (res.cost, res.optimal))
+            res.mapping.as_ref().map(|_| ExactRun {
+                cost: res.cost,
+                optimal: res.optimal,
+                nodes: res.nodes,
+                bound: res.bound,
+            })
         });
     JobResult {
         start_cost,
@@ -550,6 +576,14 @@ mod tests {
         for p in &report.points {
             assert_eq!(p.runs, 1);
             assert!(p.never_worse, "{}: refinement regressed", p.label);
+            if let Some(e) = &p.exact {
+                if e.solved > 0 {
+                    assert!(e.mean_nodes > 0.0, "{}: solved seeds expand nodes", p.label);
+                    let bound = e.mean_bound.expect("solved seeds certify a bound");
+                    assert!(bound > 0.0, "{}: certified bound is positive", p.label);
+                    assert!(e.truncated <= e.solved);
+                }
+            }
         }
         validate_refine_report(&report.render_json(true)).expect("schema v4 validates");
         validate_refine_report(&report.render_json(false)).expect("stable form validates");

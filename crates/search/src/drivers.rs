@@ -11,7 +11,7 @@ use snsp_core::instance::Instance;
 use snsp_core::refine::{AnnealSchedule, RefineDriver, RefineOptions};
 
 use crate::moves::{enumerate, propose, Move};
-use crate::state::{RefineStats, Screened, SearchState};
+use crate::state::{telemetry_for, RefineStats, Screened, SearchState};
 
 /// A shared, strictly-decreasing work allowance. One unit is one screened
 /// candidate move (or annealing proposal); callers outside this crate —
@@ -131,19 +131,23 @@ fn greedy(
                 candidates.push((sc.delta, i, sc));
             } else if state.apply(&sc, budget.used()) {
                 stats.accepted += 1;
+                telemetry_for(mv).accepted.incr();
                 continue 'descent;
             } else {
                 stats.verify_rejected += 1;
+                telemetry_for(mv).rejected.incr();
             }
         }
         if steepest {
             candidates.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-            for (_, _, sc) in &candidates {
+            for (_, i, sc) in &candidates {
                 if state.apply(sc, budget.used()) {
                     stats.accepted += 1;
+                    telemetry_for(&moves[*i]).accepted.incr();
                     continue 'descent;
                 }
                 stats.verify_rejected += 1;
+                telemetry_for(&moves[*i]).rejected.incr();
             }
         }
         break; // full sweep, no commit: a local optimum
@@ -197,11 +201,13 @@ fn anneal(
             if accept {
                 if state.apply(&sc, budget.used()) {
                     stats.accepted += 1;
+                    telemetry_for(&mv).accepted.incr();
                     if state.cost() < best.cost {
                         best = state.solution(heuristic);
                     }
                 } else {
                     stats.verify_rejected += 1;
+                    telemetry_for(&mv).rejected.incr();
                 }
             }
         }

@@ -31,8 +31,86 @@ use snsp_core::heuristics::{
 use snsp_core::ids::OpId;
 use snsp_core::instance::Instance;
 use snsp_core::mapping::Download;
+use snsp_telemetry::{Class, Counter, Histogram};
 
 use crate::moves::{Move, Target};
+
+/// The screened / accepted / verify-rejected counter triple of one move
+/// type. Det-class: every driver is single-threaded and a pure function
+/// of its seed, and campaign-level totals are sums over independent
+/// jobs — commutative, hence worker-count-independent.
+pub(crate) struct MoveTelemetry {
+    /// Candidates priced through [`SearchState::screen`] (or, for
+    /// reroute, routings tried through [`SearchState::try_reroute`]).
+    pub(crate) screened: Counter,
+    /// Moves committed after the full constraint check.
+    pub(crate) accepted: Counter,
+    /// Moves rejected by verification (or a reroute that failed to
+    /// strictly reduce the peak server load) — rolled back.
+    pub(crate) rejected: Counter,
+}
+
+impl MoveTelemetry {
+    const fn new(screened: &'static str, accepted: &'static str, rejected: &'static str) -> Self {
+        MoveTelemetry {
+            screened: Counter::new(screened, Class::Det),
+            accepted: Counter::new(accepted, Class::Det),
+            rejected: Counter::new(rejected, Class::Det),
+        }
+    }
+}
+
+static TM_RETARGET: MoveTelemetry = MoveTelemetry::new(
+    "search.screened.retarget",
+    "search.accepted.retarget",
+    "search.rejected.retarget",
+);
+static TM_MERGE: MoveTelemetry = MoveTelemetry::new(
+    "search.screened.merge",
+    "search.accepted.merge",
+    "search.rejected.merge",
+);
+static TM_REASSIGN: MoveTelemetry = MoveTelemetry::new(
+    "search.screened.reassign",
+    "search.accepted.reassign",
+    "search.rejected.reassign",
+);
+static TM_SWAP: MoveTelemetry = MoveTelemetry::new(
+    "search.screened.swap",
+    "search.accepted.swap",
+    "search.rejected.swap",
+);
+static TM_SPLIT: MoveTelemetry = MoveTelemetry::new(
+    "search.screened.split",
+    "search.accepted.split",
+    "search.rejected.split",
+);
+static TM_REROUTE: MoveTelemetry = MoveTelemetry::new(
+    "search.screened.reroute",
+    "search.accepted.reroute",
+    "search.rejected.reroute",
+);
+
+/// Exact rollbacks performed by [`SearchState::apply`] after a failed
+/// verification (one per rejected structural move).
+static SEARCH_ROLLBACKS: Counter = Counter::new("search.rollbacks", Class::Det);
+
+/// Verified cost after each committed move — the cost-over-evals curve
+/// as a sample distribution (the snapshot sorts samples, so the curve's
+/// multiset is deterministic even when jobs interleave).
+static SEARCH_COST: Histogram = Histogram::new("search.cost_over_evals", Class::Det);
+
+/// The telemetry triple for `mv`'s move type.
+pub(crate) fn telemetry_for(mv: &Move) -> &'static MoveTelemetry {
+    match mv {
+        Move::Retarget { .. } => &TM_RETARGET,
+        Move::Merge { .. } => &TM_MERGE,
+        Move::Reassign { .. } => &TM_REASSIGN,
+        Move::Swap { .. } => &TM_SWAP,
+        Move::Split { .. } => &TM_SPLIT,
+        Move::Reroute { .. } => &TM_REROUTE,
+    }
+}
 
 /// Counters describing one refinement run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -219,6 +297,7 @@ impl<'a> SearchState<'a> {
     /// CPU/NIC-priced cost delta, or `None` when some post-move group
     /// fits no catalog kind or the move is a no-op.
     pub fn screen(&mut self, mv: &Move) -> Option<Screened> {
+        telemetry_for(mv).screened.incr();
         match *mv {
             Move::Retarget { g } => {
                 let bid = self.order[g];
@@ -428,8 +507,10 @@ impl<'a> SearchState<'a> {
                 .iter()
                 .map(|&bid| self.kind_cost(self.builder.group_kind(bid)) as u64)
                 .sum();
+            SEARCH_COST.record(self.cost as f64);
             return true;
         }
+        SEARCH_ROLLBACKS.incr();
 
         // Roll back: dissolve the replacements, recreate the originals in
         // their old positions (fresh builder ids, same contents).
@@ -532,6 +613,7 @@ impl<'a> SearchState<'a> {
     /// peak relative server-NIC load strictly drops (cost cannot change —
     /// downloads are free; balancing them is the secondary objective).
     pub fn try_reroute(&mut self, seed: u64) -> bool {
+        TM_REROUTE.screened.incr();
         let placed = self.placed();
         let kinds: Vec<usize> = placed.groups.iter().map(|g| g.kind).collect();
         let assignment = placed.assignment();
@@ -542,11 +624,13 @@ impl<'a> SearchState<'a> {
             && self.peak_load < before_peak - 1e-12
         {
             self.route_seed = Some(seed);
+            TM_REROUTE.accepted.incr();
             return true;
         }
         self.downloads = before_downloads;
         self.peak_load = peak_server_load(self.inst, &self.downloads);
         self.route_seed = before_seed;
+        TM_REROUTE.rejected.incr();
         false
     }
 

@@ -31,6 +31,15 @@ use snsp_core::instance::Instance;
 use snsp_core::multi::{shared_demand, DownloadLedger, MultiInstance, MultiSolution, SharedDemand};
 use snsp_core::object::ObjectCatalog;
 use snsp_core::platform::Platform;
+use snsp_telemetry::{Class, Counter};
+
+/// First-fit candidate slots whose joint demand fit no catalog kind
+/// during an admission pack (each miss advances the scan — the packing
+/// analogue of a bound prune). Det: admission control is deterministic.
+static SERVE_PACK_PRUNED: Counter = Counter::new("serve.admit.pack_pruned", Class::Det);
+/// Evacuation attempts the post-departure consolidation sweep charged
+/// but could not commit (no strict cost drop). Det, like the sweep.
+static SERVE_EVAC_PRUNED: Counter = Counter::new("serve.consolidation.evac_pruned", Class::Det);
 
 /// One admitted application.
 #[derive(Debug, Clone)]
@@ -400,6 +409,7 @@ impl LivePlatform {
                     chosen = Some((u, kind, false));
                     break;
                 }
+                SERVE_PACK_PRUNED.incr();
             }
             // Otherwise buy the cheapest machine hosting the group alone.
             if chosen.is_none() {
@@ -515,8 +525,12 @@ impl LivePlatform {
                 if !budget.charge(1) && !first {
                     return;
                 }
-                if self.slots[u].is_some() && self.try_evacuate(u) {
-                    changed = true;
+                if self.slots[u].is_some() {
+                    if self.try_evacuate(u) {
+                        changed = true;
+                    } else {
+                        SERVE_EVAC_PRUNED.incr();
+                    }
                 }
             }
             first = false;

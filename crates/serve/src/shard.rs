@@ -63,9 +63,28 @@ use snsp_core::platform::Platform;
 use snsp_gen::{tenant_instance, trace_environment, TenantSpec, TimedEvent, Trace, TraceEvent};
 use snsp_sweep::{run_jobs, PIPELINE_SEED_STRIDE};
 
+use snsp_telemetry::{Class, Counter, Histogram};
+
 use crate::platform::{AdmitError, AdmitOutcome, LivePlatform};
 use crate::report::{fnv1a, TraceReport, FNV_OFFSET};
-use crate::sim::{validate_residents, ServeConfig};
+use crate::sim::{
+    validate_residents, ServeConfig, SERVE_ADMITTED, SERVE_ADMIT_LATENCY, SERVE_DEPARTED,
+    SERVE_EVICTED, SERVE_FAILURES, SERVE_PEAK_RSS, SERVE_REJECTED,
+};
+
+// Cross-shard message volume by kind, counted at the coordinator fold.
+// Det: the message stream is a pure function of the trace.
+static MSG_ADMITTED: Counter = Counter::new("serve.shardmsg.admitted", Class::Det);
+static MSG_REJECTED: Counter = Counter::new("serve.shardmsg.rejected", Class::Det);
+static MSG_DEPARTED: Counter = Counter::new("serve.shardmsg.departed", Class::Det);
+static MSG_EVICTED: Counter = Counter::new("serve.shardmsg.evicted", Class::Det);
+static MSG_FAILED: Counter = Counter::new("serve.shardmsg.failed", Class::Det);
+static MSG_SLO_CHECKED: Counter = Counter::new("serve.shardmsg.slo_checked", Class::Det);
+/// Per-shard admissions over one replay — the shard-imbalance
+/// distribution (routing is pure, so the samples are Det).
+static SHARD_ADMITTED: Histogram = Histogram::new("serve.shard.admitted", Class::Det);
+/// Events replayed per non-empty shard batch at each tick barrier.
+static TICK_BATCH_EVENTS: Histogram = Histogram::new("serve.tick.batch_events", Class::Det);
 
 /// How a sharded replay is partitioned and driven.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -358,17 +377,34 @@ impl Coordinator {
             ShardMsgKind::Admitted { .. } => {
                 self.report.arrivals += 1;
                 self.report.admitted += 1;
+                SERVE_ADMITTED.incr();
+                MSG_ADMITTED.incr();
             }
             ShardMsgKind::Rejected => {
                 self.report.arrivals += 1;
                 self.report.rejected += 1;
+                SERVE_REJECTED.incr();
+                MSG_REJECTED.incr();
             }
-            ShardMsgKind::Departed => self.report.departed += 1,
-            ShardMsgKind::Evicted { .. } => self.report.evicted += 1,
-            ShardMsgKind::Failed { .. } => self.report.failures += 1,
+            ShardMsgKind::Departed => {
+                self.report.departed += 1;
+                SERVE_DEPARTED.incr();
+                MSG_DEPARTED.incr();
+            }
+            ShardMsgKind::Evicted { .. } => {
+                self.report.evicted += 1;
+                SERVE_EVICTED.incr();
+                MSG_EVICTED.incr();
+            }
+            ShardMsgKind::Failed { .. } => {
+                self.report.failures += 1;
+                SERVE_FAILURES.incr();
+                MSG_FAILED.incr();
+            }
             ShardMsgKind::SloChecked { checks, violations } => {
                 self.report.slo_checks += checks;
                 self.report.slo_violations += violations;
+                MSG_SLO_CHECKED.incr();
             }
         }
         for line in msg.line.split('\n').filter(|l| !l.is_empty()) {
@@ -522,6 +558,9 @@ pub fn replay_trace_sharded(
         if batches.iter().all(|b| b.events.is_empty()) {
             return;
         }
+        for b in batches.iter().filter(|b| !b.events.is_empty()) {
+            TICK_BATCH_EVENTS.record(b.events.len() as f64);
+        }
         // Hand each worker exclusive access to one (shard, batch, counter)
         // cell; every cell is locked exactly once, so the mutexes are
         // uncontended bookkeeping, not synchronization points.
@@ -639,6 +678,13 @@ pub fn replay_trace_sharded(
     }
     coord.advance(horizon);
 
+    for &count in &admitted {
+        SHARD_ADMITTED.record(count as f64);
+    }
+    if snsp_telemetry::enabled() {
+        SERVE_PEAK_RSS.record_max(snsp_telemetry::peak_rss_kb());
+    }
+
     let mut report = coord.report;
     report.final_cost = sharded.cost();
     report.mean_utilization = if horizon > 0.0 {
@@ -647,6 +693,9 @@ pub fn replay_trace_sharded(
         0.0
     };
     report.admit_latencies_us = latencies.into_iter().flatten().collect();
+    for &us in &report.admit_latencies_us {
+        SERVE_ADMIT_LATENCY.record(us);
+    }
     (report, sharded)
 }
 

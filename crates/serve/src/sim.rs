@@ -20,9 +20,26 @@ use snsp_core::heuristics::{Heuristic, PipelineOptions, SubtreeBottomUp};
 use snsp_engine::{meets_slo, SimConfig};
 use snsp_gen::{tenant_instance, trace_environment, Trace, TraceEvent};
 use snsp_sweep::PIPELINE_SEED_STRIDE;
+use snsp_telemetry::{Class, Counter, Gauge, Histogram};
 
 use crate::platform::LivePlatform;
 use crate::report::TraceReport;
+
+// Per-event replay counters, shared by the unsharded loop here and the
+// sharded coordinator. Det-class: every count is a pure function of the
+// trace (admission control, departures and failure lotteries are all
+// deterministic), and campaign totals are commutative sums over jobs.
+pub(crate) static SERVE_ADMITTED: Counter = Counter::new("serve.admitted", Class::Det);
+pub(crate) static SERVE_REJECTED: Counter = Counter::new("serve.rejected", Class::Det);
+pub(crate) static SERVE_DEPARTED: Counter = Counter::new("serve.departed", Class::Det);
+pub(crate) static SERVE_EVICTED: Counter = Counter::new("serve.evicted", Class::Det);
+pub(crate) static SERVE_FAILURES: Counter = Counter::new("serve.failures", Class::Det);
+/// Wall-clock admission latency — Overlay by nature.
+pub(crate) static SERVE_ADMIT_LATENCY: Histogram =
+    Histogram::new("serve.admit.latency_us", Class::Overlay);
+/// Peak resident-set size sampled after each replay (`/proc/self/status`
+/// VmHWM) — a process-level, scheduling-dependent gauge.
+pub(crate) static SERVE_PEAK_RSS: Gauge = Gauge::new("serve.peak_rss_kb", Class::Overlay);
 
 /// Serving-loop policy knobs.
 pub struct ServeConfig {
@@ -113,10 +130,11 @@ pub fn run_trace(trace: &Trace, config: &ServeConfig) -> TraceReport {
                 let started = Instant::now();
                 match live.admit(tenant, inst, config.heuristic.as_ref(), seed, &config.opts) {
                     Ok(out) => {
-                        report
-                            .admit_latencies_us
-                            .push(started.elapsed().as_secs_f64() * 1e6);
+                        let latency_us = started.elapsed().as_secs_f64() * 1e6;
+                        SERVE_ADMIT_LATENCY.record(latency_us);
+                        report.admit_latencies_us.push(latency_us);
                         report.admitted += 1;
+                        SERVE_ADMITTED.incr();
                         log.push(format!(
                             "{t:.6} admit t{tenant} n={} rho={:.3} until={deadline:.6} \
                              new={} reuse={} procs={} cost={}",
@@ -137,6 +155,7 @@ pub fn run_trace(trace: &Trace, config: &ServeConfig) -> TraceReport {
                     }
                     Err(e) => {
                         report.rejected += 1;
+                        SERVE_REJECTED.incr();
                         log.push(format!("{t:.6} reject t{tenant} n={} ({e})", spec.n_ops));
                     }
                 }
@@ -145,6 +164,7 @@ pub fn run_trace(trace: &Trace, config: &ServeConfig) -> TraceReport {
                 let mut budget = snsp_search::Budget::new(config.refine_evals);
                 if live.depart_budgeted(tenant, &mut budget) {
                     report.departed += 1;
+                    SERVE_DEPARTED.incr();
                     log.push(format!(
                         "{t:.6} depart t{tenant} procs={} cost={}",
                         live.proc_count(),
@@ -156,7 +176,9 @@ pub fn run_trace(trace: &Trace, config: &ServeConfig) -> TraceReport {
                 let out = live.fail(lottery);
                 if let Some(victim) = out.victim {
                     report.failures += 1;
+                    SERVE_FAILURES.incr();
                     report.evicted += out.evicted.len();
+                    SERVE_EVICTED.add(out.evicted.len() as u64);
                     let evicted: Vec<String> =
                         out.evicted.iter().map(|id| format!("t{id}")).collect();
                     log.push(format!(
@@ -191,6 +213,11 @@ pub fn run_trace(trace: &Trace, config: &ServeConfig) -> TraceReport {
         0.0
     };
     report.log = log;
+    // Guarded: `peak_rss_kb` reads `/proc` and must stay off the
+    // disabled path (the gauge's own check runs after the argument).
+    if snsp_telemetry::enabled() {
+        SERVE_PEAK_RSS.record_max(snsp_telemetry::peak_rss_kb());
+    }
     report
 }
 

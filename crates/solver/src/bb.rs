@@ -71,6 +71,26 @@ use snsp_core::heuristics::{
 use snsp_core::ids::{OpId, TypeId};
 use snsp_core::instance::Instance;
 use snsp_core::mapping::{Download, Mapping};
+use snsp_core::pool::PoolStats;
+use snsp_telemetry::{Class, Counter, Histogram};
+
+use crate::bounds::lower_bound;
+
+// Search observability. Every metric here is Overlay-class: parallel
+// node and prune counts depend on the steal schedule (and refine
+// campaigns vary `--bb-workers`), so none of them may enter the
+// deterministic section of a telemetry report. The counters are pure
+// observers — the starvation test pins `serial.nodes == par.nodes`
+// regardless of whether collection is enabled.
+static BB_NODES: Counter = Counter::new("bb.nodes", Class::Overlay);
+static BB_PRUNE_BOUND: Counter = Counter::new("bb.prune.bound", Class::Overlay);
+static BB_PRUNE_INFEASIBLE: Counter = Counter::new("bb.prune.infeasible", Class::Overlay);
+static BB_PRUNE_LEAF_COST: Counter = Counter::new("bb.prune.leaf_cost", Class::Overlay);
+static BB_PRUNE_SELECTOR: Counter = Counter::new("bb.prune.selector", Class::Overlay);
+static BB_PRUNE_CONSTRAINTS: Counter = Counter::new("bb.prune.constraints", Class::Overlay);
+static BB_INCUMBENTS: Counter = Counter::new("bb.incumbent.updates", Class::Overlay);
+static BB_INCUMBENT_COST: Histogram = Histogram::new("bb.incumbent.cost", Class::Overlay);
+static BB_SUBTREE_NODES: Histogram = Histogram::new("bb.task.subtree_nodes", Class::Overlay);
 
 /// Configuration for the exact search.
 #[derive(Debug, Clone, Copy)]
@@ -111,6 +131,18 @@ pub struct ExactResult {
     /// Search nodes expanded. Deterministic for the serial search;
     /// schedule-dependent (but budget-bounded) for the parallel one.
     pub nodes: u64,
+    /// Best certified lower bound on the optimal cost: equals `cost`
+    /// when optimality was proven with a feasible mapping, otherwise
+    /// the analytic [`lower_bound`] — still valid when the search was
+    /// budget-truncated, so a truncated run reports both how far it got
+    /// (`nodes`) and what it can still certify (`bound`).
+    pub bound: u64,
+    /// Executor diagnostics (steals, donations, peak frontier depth).
+    /// All zeros for the serial search; scheduling-dependent for the
+    /// parallel one — but a multi-worker run always registers at least
+    /// one steal (the seed prefix is enqueued by the coordinating
+    /// thread and claimed by a spawned worker).
+    pub pool: PoolStats,
 }
 
 impl ExactResult {
@@ -279,6 +311,7 @@ impl<'a> Search<'a> {
             alive = false;
         }
         if !alive {
+            BB_PRUNE_INFEASIBLE.incr();
             self.pop_op(g, &save);
             return None;
         }
@@ -314,6 +347,7 @@ impl<'a> Search<'a> {
             return;
         }
         self.nodes += 1;
+        BB_NODES.incr();
         if self.nodes > self.budget {
             self.truncated = true;
             return;
@@ -329,6 +363,8 @@ impl<'a> Search<'a> {
             if let Some(save) = self.push_op(g, op) {
                 if self.lb_sum < self.best_cost {
                     self.dfs(depth + 1);
+                } else {
+                    BB_PRUNE_BOUND.incr();
                 }
                 self.pop_op(g, &save);
             }
@@ -351,6 +387,8 @@ impl<'a> Search<'a> {
         if let Some(save) = self.push_op(g, op) {
             if self.lb_sum < self.best_cost {
                 self.dfs(depth + 1);
+            } else {
+                BB_PRUNE_BOUND.incr();
             }
             self.pop_op(g, &save);
         }
@@ -365,6 +403,7 @@ impl<'a> Search<'a> {
     fn evaluate_leaf(&mut self) {
         let cost = self.lb_sum;
         if cost >= self.best_cost {
+            BB_PRUNE_LEAF_COST.incr();
             return;
         }
         self.kinds_buf.clear();
@@ -394,12 +433,17 @@ impl<'a> Search<'a> {
             )
             .is_err()
         {
+            BB_PRUNE_SELECTOR.incr();
             return;
         }
         let mapping = placed.into_mapping(self.downloads_buf.clone());
         if constraints::is_feasible(self.inst, &mapping) {
             self.best_cost = cost;
             self.best = Some(mapping);
+            BB_INCUMBENTS.incr();
+            BB_INCUMBENT_COST.record(cost as f64);
+        } else {
+            BB_PRUNE_CONSTRAINTS.incr();
         }
     }
 }
@@ -424,6 +468,18 @@ impl rand::RngCore for NullRng {
     }
 }
 
+/// Resolves [`ExactResult::bound`]: the exact cost once optimality is
+/// proven with a feasible mapping, otherwise the analytic instance
+/// bound — the strongest certificate a truncated (or infeasible) run
+/// can still offer.
+fn resolve_bound(inst: &Instance, optimal: bool, found: bool, cost: u64) -> u64 {
+    if optimal && found {
+        cost
+    } else {
+        lower_bound(inst).value()
+    }
+}
+
 /// Runs the exact search (incremental demand maintenance). With
 /// `config.workers > 1` the subtree-splitting parallel search runs
 /// instead; optimum and certified bound are identical either way.
@@ -433,10 +489,13 @@ pub fn solve_exact(inst: &Instance, config: &BranchBoundConfig) -> ExactResult {
     }
     let mut search = Search::new(inst, config);
     search.dfs(0);
+    let optimal = !search.truncated;
     ExactResult {
         cost: search.best_cost,
-        optimal: !search.truncated,
+        optimal,
         nodes: search.nodes,
+        bound: resolve_bound(inst, optimal, search.best.is_some(), search.best_cost),
+        pool: PoolStats::default(),
         mapping: search.best,
     }
 }
@@ -472,10 +531,13 @@ pub fn optimal_cost(inst: &Instance, config: &BranchBoundConfig) -> Result<u64, 
 pub fn solve_exact_reference(inst: &Instance, config: &BranchBoundConfig) -> ExactResult {
     let mut search = reference::Search::new(inst, config);
     search.dfs(0);
+    let optimal = !search.truncated;
     ExactResult {
         cost: search.best_cost,
-        optimal: !search.truncated,
+        optimal,
         nodes: search.nodes,
+        bound: resolve_bound(inst, optimal, search.best.is_some(), search.best_cost),
+        pool: PoolStats::default(),
         mapping: search.best,
     }
 }
@@ -520,6 +582,10 @@ mod parallel {
         search: Search<'a>,
         path: Vec<u32>,
         shared: &'b Shared<'a>,
+        /// Nodes this worker expanded inside the current task, feeding
+        /// the `bb.task.subtree_nodes` histogram (a stolen prefix's
+        /// subtree size is the natural unit of load balance).
+        task_nodes: u64,
     }
 
     impl<'a, 'b> Worker<'a, 'b> {
@@ -563,7 +629,9 @@ mod parallel {
             if alive {
                 self.path.clear();
                 self.path.extend_from_slice(prefix);
+                self.task_nodes = 0;
                 self.dfs(prefix.len());
+                BB_SUBTREE_NODES.record(self.task_nodes as f64);
             }
             for (g, save, fresh) in saves.iter().rev() {
                 self.search.pop_op(*g, save);
@@ -583,6 +651,8 @@ mod parallel {
             if self.shared.truncated.load(Ordering::Relaxed) {
                 return;
             }
+            self.task_nodes += 1;
+            BB_NODES.incr();
             if self.shared.nodes.fetch_add(1, Ordering::Relaxed) + 1 > self.shared.budget {
                 self.shared.truncated.store(true, Ordering::Relaxed);
                 return;
@@ -617,6 +687,8 @@ mod parallel {
                         self.path.push(g as u32);
                         self.dfs(depth + 1);
                         self.path.pop();
+                    } else {
+                        BB_PRUNE_BOUND.incr();
                     }
                     self.search.pop_op(g, &save);
                 }
@@ -683,17 +755,24 @@ mod parallel {
                 search: Search::new(inst, &serial),
                 path: Vec::new(),
                 shared: &shared,
+                task_nodes: 0,
             };
             while let Some(prefix) = shared.deque.pop() {
                 worker.run_task(&prefix);
                 shared.deque.complete();
             }
         });
+        let cost = shared.best_cost.load(Ordering::Relaxed);
+        let optimal = !shared.truncated.load(Ordering::Relaxed);
+        let pool = shared.deque.stats();
+        let mapping = shared.best.into_inner().unwrap();
         ExactResult {
-            cost: shared.best_cost.load(Ordering::Relaxed),
-            optimal: !shared.truncated.load(Ordering::Relaxed),
+            cost,
+            optimal,
             nodes: shared.nodes.load(Ordering::Relaxed),
-            mapping: shared.best.into_inner().unwrap(),
+            bound: resolve_bound(inst, optimal, mapping.is_some(), cost),
+            pool,
+            mapping,
         }
     }
 }
@@ -919,6 +998,7 @@ mod tests {
         let inst = paper_instance(10, 0.9, 3);
         let res = solve_exact(&inst, &BranchBoundConfig::default());
         assert!(res.optimal);
+        assert_eq!(res.bound, res.cost, "proven optimum certifies itself");
         let mapping = res.mapping.expect("feasible");
         assert_eq!(mapping.proc_count(), 1);
         assert!(res.cost < 2 * 7_548, "single-processor optimum expected");
@@ -987,6 +1067,11 @@ mod tests {
             },
         );
         assert!(!res.optimal);
+        // A truncated run still certifies the analytic bound, and the
+        // nodes count tells "budget too small" apart from "no gap".
+        assert_eq!(res.bound, crate::bounds::lower_bound(&inst).value());
+        assert!(res.bound >= 7_548, "at least one chassis is certified");
+        assert!(res.nodes > 0);
     }
 
     #[test]
@@ -1025,6 +1110,12 @@ mod tests {
                 assert_eq!(serial.certified_bound(), par.certified_bound());
                 assert_eq!(serial.mapping.is_some(), par.mapping.is_some());
                 assert!(par.optimal, "budget headroom must keep the flag stable");
+                assert!(
+                    par.pool.steals > 0,
+                    "the seed prefix is enqueued by the coordinating thread, \
+                     so a {workers}-worker run must register a steal"
+                );
+                assert_eq!(serial.pool, PoolStats::default(), "serial runs never steal");
             }
         }
     }

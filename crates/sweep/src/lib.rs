@@ -56,7 +56,8 @@ pub use json::Json;
 pub use pool::run_jobs;
 pub use schema::{
     validate_perf_report, validate_refine_report, validate_report, validate_serve_report,
-    PERF_SCHEMA_VERSION, REFINE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION_MIN,
+    validate_telemetry_report, PERF_SCHEMA_VERSION, REFINE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION,
+    SERVE_SCHEMA_VERSION_MIN, TELEMETRY_SCHEMA_VERSION,
 };
 pub use sink::{
     CampaignReport, HeurStats, PhaseTiming, PointReport, ReferenceStats, SCHEMA_VERSION,

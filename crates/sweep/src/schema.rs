@@ -9,12 +9,15 @@
 //! adds the `kind: "serve"` discriminator, the trace-grid config echo
 //! (including the shard count), the service-metric result rows and the
 //! `admit_latency` p50/p99 column (v2 documents — pre-sharding, no
-//! latency column — stay readable); perf reports are **schema v3**
+//! latency column — stay readable); perf reports are **schema v4**
 //! ([`validate_perf_report`], `kind: "perf"`), recording the incremental
 //! demand engine's measured speedups over the retained reference oracles
-//! (heuristic pipelines, the branch-and-bound, and the raw demand probe).
-//! Serve v3 and perf v3 share a version number but never a document: the
-//! `kind` discriminator keeps them apart.
+//! (heuristic pipelines, the branch-and-bound, and the raw demand probe)
+//! plus the process peak-RSS gauge (v4); telemetry reports are
+//! **schema v5** ([`validate_telemetry_report`], `kind: "telemetry"`),
+//! carrying the deterministic counter/histogram core and the optional
+//! wall-clock overlay written by `snsp-experiments --telemetry-out`.
+//! The `kind` discriminator keeps every kinded document apart.
 
 use crate::json::{parse, Json};
 use crate::sink::SCHEMA_VERSION;
@@ -28,10 +31,15 @@ pub const SERVE_SCHEMA_VERSION: i64 = 3;
 pub const SERVE_SCHEMA_VERSION_MIN: i64 = 2;
 
 /// The schema version stamped into (and required of) every perf report.
-pub const PERF_SCHEMA_VERSION: i64 = 3;
+/// v4 adds the `results.peak_rss_kb` gauge column.
+pub const PERF_SCHEMA_VERSION: i64 = 4;
 
 /// The schema version stamped into (and required of) every refine report.
 pub const REFINE_SCHEMA_VERSION: i64 = 4;
+
+/// The schema version stamped into (and required of) every telemetry
+/// report (`TELEMETRY.json`, `kind: "telemetry"`).
+pub const TELEMETRY_SCHEMA_VERSION: i64 = 5;
 
 /// Checks the `kind` discriminator against the kind a validator expects,
 /// producing an error that names **both** the expected and the found
@@ -447,8 +455,10 @@ pub fn validate_serve_report(text: &str) -> Result<(), Vec<String>> {
     }
 }
 
-/// Validates a serialized perf report against schema v3 (the
-/// `BENCH_perf.json` document written by `snsp-experiments perf`).
+/// Validates a serialized perf report against schema v4 (the
+/// `BENCH_perf.json` document written by `snsp-experiments perf`;
+/// v4 added `results.peak_rss_kb`, a process-level gauge that may be
+/// `null` on platforms without `/proc/self/status`).
 ///
 /// Beyond structure, the correctness invariants are enforced: every
 /// engine-comparison row must declare `costs_match: true` — a perf
@@ -472,7 +482,7 @@ pub fn validate_perf_report(text: &str) -> Result<(), Vec<String>> {
 
     check(
         doc.get("schema_version").and_then(Json::as_int) == Some(PERF_SCHEMA_VERSION),
-        "schema_version must be the integer 3",
+        "schema_version must be the integer 4",
     );
     check(
         doc.get("generator")
@@ -685,6 +695,20 @@ pub fn validate_perf_report(text: &str) -> Result<(), Vec<String>> {
                     }
                 }
             }
+            // v4: the process peak-RSS high-water mark, null when the
+            // platform offers no `/proc/self/status` to read it from.
+            match results.get("peak_rss_kb") {
+                None => errors.push("results.peak_rss_kb key missing".to_string()),
+                Some(Json::Null) => {}
+                Some(v) => {
+                    if v.as_int().is_none_or(|kb| kb < 0) {
+                        errors.push(
+                            "results.peak_rss_kb must be a non-negative integer or null"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
         }
     }
 
@@ -692,6 +716,183 @@ pub fn validate_perf_report(text: &str) -> Result<(), Vec<String>> {
         Ok(())
     } else {
         Err(errors)
+    }
+}
+
+/// Validates a serialized telemetry report against schema v5 (the
+/// `TELEMETRY.json` document written by `snsp-experiments
+/// --telemetry-out`).
+///
+/// The document splits into a **deterministic core** (`deterministic`:
+/// counters and histograms of `Class::Det` metrics — byte-identical at
+/// any worker count) and a **wall-clock overlay** (`overlay`: the
+/// scheduling- and clock-dependent rest), which stable renderings null
+/// out entirely.
+///
+/// Returns every violation found (empty ⇒ valid); a parse failure is a
+/// single violation.
+pub fn validate_telemetry_report(text: &str) -> Result<(), Vec<String>> {
+    let doc = match parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Err(vec![format!("not JSON: {e}")]),
+    };
+    let mut errors = Vec::new();
+    check_kind(&doc, Some("telemetry"), &mut errors);
+    let mut check = |cond: bool, msg: &str| {
+        if !cond {
+            errors.push(msg.to_string());
+        }
+    };
+
+    check(
+        doc.get("schema_version").and_then(Json::as_int) == Some(TELEMETRY_SCHEMA_VERSION),
+        "schema_version must be the integer 5",
+    );
+    check(
+        doc.get("generator")
+            .and_then(Json::as_str)
+            .is_some_and(|s| s.starts_with("snsp-")),
+        "generator must be an snsp tool version string",
+    );
+    check(
+        doc.get("campaign")
+            .and_then(Json::as_str)
+            .is_some_and(|s| !s.is_empty()),
+        "campaign must be a non-empty string",
+    );
+
+    match doc.get("deterministic") {
+        None => errors.push("deterministic object missing".to_string()),
+        Some(det) => validate_metric_block(det, "deterministic", false, &mut errors),
+    }
+    match doc.get("overlay") {
+        None => errors.push("overlay key missing (null it for the stable form)".to_string()),
+        // Stable renderings drop the wall-clock overlay entirely.
+        Some(Json::Null) => {}
+        Some(overlay) => validate_metric_block(overlay, "overlay", true, &mut errors),
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Validates one telemetry metric block (`deterministic` or `overlay`).
+/// Only the overlay may carry gauges and spans — the deterministic core
+/// holds counters and histograms alone.
+fn validate_metric_block(block: &Json, at: &str, overlay: bool, errors: &mut Vec<String>) {
+    match block.get("counters").and_then(Json::as_arr) {
+        None => errors.push(format!("{at}.counters must be an array")),
+        Some(counters) => {
+            for (i, c) in counters.iter().enumerate() {
+                if c.get("name")
+                    .and_then(Json::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    errors.push(format!(
+                        "{at}.counters[{i}].name must be a non-empty string"
+                    ));
+                }
+                if c.get("value").and_then(Json::as_int).is_none_or(|v| v < 0) {
+                    errors.push(format!(
+                        "{at}.counters[{i}].value must be a non-negative integer"
+                    ));
+                }
+            }
+        }
+    }
+    match block.get("histograms").and_then(Json::as_arr) {
+        None => errors.push(format!("{at}.histograms must be an array")),
+        Some(hists) => {
+            for (i, h) in hists.iter().enumerate() {
+                let at = format!("{at}.histograms[{i}]");
+                if h.get("name")
+                    .and_then(Json::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    errors.push(format!("{at}.name must be a non-empty string"));
+                }
+                if h.get("count").and_then(Json::as_int).is_none_or(|v| v < 1) {
+                    errors.push(format!(
+                        "{at}.count must be a positive integer \
+                         (untouched histograms are not emitted)"
+                    ));
+                }
+                let mut num_of = |key: &str| -> f64 {
+                    let v = h.get(key).and_then(Json::as_num);
+                    if v.is_none() {
+                        errors.push(format!("{at}.{key} must be a number"));
+                    }
+                    v.unwrap_or(0.0)
+                };
+                let min = num_of("min");
+                let p50 = num_of("p50");
+                let p90 = num_of("p90");
+                let p99 = num_of("p99");
+                let max = num_of("max");
+                if !(min <= p50 && p50 <= p90 && p90 <= p99 && p99 <= max) {
+                    errors.push(format!(
+                        "{at} percentiles must be ordered (min <= p50 <= p90 <= p99 <= max)"
+                    ));
+                }
+            }
+        }
+    }
+    if !overlay {
+        for key in ["gauges", "spans"] {
+            if block.get(key).is_some() {
+                errors.push(format!(
+                    "deterministic.{key} is not allowed — gauges and spans are \
+                     wall-clock/scheduling state and belong to the overlay"
+                ));
+            }
+        }
+        return;
+    }
+    match block.get("gauges").and_then(Json::as_arr) {
+        None => errors.push(format!("{at}.gauges must be an array")),
+        Some(gauges) => {
+            for (i, g) in gauges.iter().enumerate() {
+                if g.get("name")
+                    .and_then(Json::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    errors.push(format!("{at}.gauges[{i}].name must be a non-empty string"));
+                }
+                if g.get("value").and_then(Json::as_int).is_none_or(|v| v < 0) {
+                    errors.push(format!(
+                        "{at}.gauges[{i}].value must be a non-negative integer"
+                    ));
+                }
+            }
+        }
+    }
+    match block.get("spans").and_then(Json::as_arr) {
+        None => errors.push(format!("{at}.spans must be an array")),
+        Some(spans) => {
+            for (i, s) in spans.iter().enumerate() {
+                if s.get("name")
+                    .and_then(Json::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    errors.push(format!("{at}.spans[{i}].name must be a non-empty string"));
+                }
+                if s.get("count").and_then(Json::as_int).is_none_or(|v| v < 1) {
+                    errors.push(format!("{at}.spans[{i}].count must be a positive integer"));
+                }
+                if !s
+                    .get("total_ms")
+                    .and_then(Json::as_num)
+                    .is_some_and(|v| v >= 0.0)
+                {
+                    errors.push(format!(
+                        "{at}.spans[{i}].total_ms must be a non-negative number"
+                    ));
+                }
+            }
+        }
     }
 }
 
@@ -1113,7 +1314,7 @@ mod tests {
     /// renders; kept in sync by that crate's own round-trip test).
     fn perf_doc() -> String {
         r#"{
-  "schema_version": 3,
+  "schema_version": 4,
   "generator": "snsp-experiments 0.1.0",
   "kind": "perf",
   "campaign": "perf-ci",
@@ -1160,7 +1361,8 @@ mod tests {
       "oracle_ms": 5.0,
       "speedup": 100.0,
       "accepted_match": true
-    }
+    },
+    "peak_rss_kb": 14336
   }
 }"#
         .to_string()
@@ -1195,6 +1397,106 @@ mod tests {
             errors.iter().any(|e| e.contains("demand_probe")),
             "{errors:?}"
         );
+    }
+
+    #[test]
+    fn perf_v4_requires_the_rss_column_but_tolerates_null() {
+        // v3 documents (no peak_rss_kb) no longer validate...
+        let v3 = perf_doc()
+            .replace("\"schema_version\": 4", "\"schema_version\": 3")
+            .replace(",\n    \"peak_rss_kb\": 14336", "");
+        let errors = validate_perf_report(&v3).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("schema_version")));
+        assert!(errors.iter().any(|e| e.contains("peak_rss_kb")));
+        // ...but a platform without /proc may null the gauge.
+        let nulled = perf_doc().replace("\"peak_rss_kb\": 14336", "\"peak_rss_kb\": null");
+        validate_perf_report(&nulled).expect("null RSS is the no-procfs form");
+        // Negative high-water marks are nonsense.
+        let broken = perf_doc().replace("\"peak_rss_kb\": 14336", "\"peak_rss_kb\": -1");
+        let errors = validate_perf_report(&broken).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("peak_rss_kb")),
+            "{errors:?}"
+        );
+    }
+
+    /// A minimal well-formed telemetry document (what `snsp-experiments
+    /// --telemetry-out` renders; kept in sync by that crate's tests).
+    fn telemetry_doc() -> String {
+        r#"{
+  "schema_version": 5,
+  "generator": "snsp-experiments 0.1.0",
+  "kind": "telemetry",
+  "campaign": "serve sharded-ci",
+  "deterministic": {
+    "counters": [
+      {"name": "serve.admitted", "value": 42},
+      {"name": "serve.shardmsg.admitted", "value": 42}
+    ],
+    "histograms": [
+      {"name": "serve.shard.admitted", "count": 4, "min": 8.0, "p50": 10.0, "p90": 12.0, "p99": 12.0, "max": 12.0}
+    ]
+  },
+  "overlay": {
+    "counters": [
+      {"name": "pool.steals", "value": 7}
+    ],
+    "histograms": [
+      {"name": "serve.admit.latency_us", "count": 42, "min": 120.0, "p50": 850.0, "p90": 1900.0, "p99": 2300.0, "max": 2400.0}
+    ],
+    "gauges": [
+      {"name": "serve.peak_rss_kb", "value": 14336}
+    ],
+    "spans": [
+      {"name": "pool.busy", "count": 4, "total_ms": 12.5}
+    ]
+  }
+}"#
+        .to_string()
+    }
+
+    #[test]
+    fn telemetry_schema_accepts_well_formed_documents() {
+        validate_telemetry_report(&telemetry_doc()).expect("telemetry doc validates");
+        // The stable form nulls the whole wall-clock overlay.
+        let (head, _) = telemetry_doc()
+            .split_once("\"overlay\"")
+            .map(|(h, t)| (h.to_string(), t.to_string()))
+            .unwrap();
+        let stable = format!("{head}\"overlay\": null\n}}");
+        validate_telemetry_report(&stable).expect("null overlay is the stable form");
+    }
+
+    #[test]
+    fn telemetry_schema_rejects_misfiled_metrics_and_cross_kinds() {
+        // Wall-clock state may not masquerade as deterministic: a span
+        // or gauge array inside the deterministic core is an error.
+        let broken = telemetry_doc().replace(
+            "\"deterministic\": {\n    \"counters\"",
+            "\"deterministic\": {\n    \"spans\": [],\n    \"counters\"",
+        );
+        let errors = validate_telemetry_report(&broken).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("deterministic.spans")),
+            "{errors:?}"
+        );
+        // Percentiles must be ordered.
+        let broken = telemetry_doc().replace("\"p50\": 850.0", "\"p50\": 9850.0");
+        let errors = validate_telemetry_report(&broken).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("ordered")), "{errors:?}");
+        // Other kinds are rejected by name, and vice versa.
+        let errors = validate_telemetry_report(&perf_doc()).unwrap_err();
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("expected \"telemetry\"") && e.contains("found \"perf\"")),
+            "{errors:?}"
+        );
+        let telemetry = telemetry_doc();
+        assert!(validate_report(&telemetry).is_err());
+        assert!(validate_serve_report(&telemetry).is_err());
+        assert!(validate_perf_report(&telemetry).is_err());
+        assert!(validate_refine_report(&telemetry).is_err());
     }
 
     /// A minimal well-formed refine document (what `snsp-search`

@@ -27,7 +27,12 @@
 //! * [`serve`] — online multi-tenant serving: trace-driven
 //!   admission, incremental placement and eviction over one shared
 //!   elastic platform, with a sharded tier that replays tenant
-//!   partitions in parallel under a deterministic message protocol.
+//!   partitions in parallel under a deterministic message protocol;
+//! * [`telemetry`] — zero-overhead-when-disabled counters, histograms,
+//!   gauges and spans wired through the pool, the exact solver, the
+//!   search drivers and the serve tier, split into a deterministic core
+//!   (worker-count-independent, safe in stable artifacts) and a
+//!   wall-clock overlay (schema-v5 `TELEMETRY.json`).
 //!
 //! ## Quickstart
 //!
@@ -58,6 +63,7 @@ pub use snsp_search as search;
 pub use snsp_serve as serve;
 pub use snsp_solver as solver;
 pub use snsp_sweep as sweep;
+pub use snsp_telemetry as telemetry;
 
 /// Everything a typical user needs in scope.
 pub mod prelude {
@@ -100,6 +106,8 @@ pub mod prelude {
     };
     pub use snsp_sweep::{
         run_campaign, validate_perf_report, validate_refine_report, validate_report,
-        validate_serve_report, Campaign, CampaignReport, PointSpec, ReferenceConfig,
+        validate_serve_report, validate_telemetry_report, Campaign, CampaignReport, PointSpec,
+        ReferenceConfig,
     };
+    pub use snsp_telemetry::{capture, Class, Counter, Gauge, Histogram, Snapshot, Span};
 }

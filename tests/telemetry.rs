@@ -1,0 +1,208 @@
+//! Integration coverage for `snsp-telemetry` through the facade: the
+//! instrumentation must observe without perturbing (stable BENCH
+//! artifacts byte-identical with telemetry on or off), and the
+//! deterministic metric core must be worker-count-independent, while
+//! the sharded serve tier and the parallel pool feed it nonzero
+//! steal/prune/admission counts.
+
+use snsp::prelude::*;
+use snsp::telemetry::{Class, Snapshot};
+
+/// Name-keyed counter values.
+type CounterCore = Vec<(String, u64)>;
+/// Name-keyed histogram summaries: (name, count, min, p50, max).
+type HistogramCore = Vec<(String, u64, f64, f64, f64)>;
+
+fn sweep_campaign(workers: usize) -> Campaign {
+    let points = vec![
+        PointSpec::new("8", ScenarioParams::paper(8, 0.9)),
+        PointSpec::new("12", ScenarioParams::paper(12, 1.3)),
+    ];
+    Campaign::new("telemetry-int", points, 2)
+        .with_reference(ReferenceConfig {
+            max_ops: 12,
+            node_budget: 200_000,
+            workers: 1,
+        })
+        .with_workers(workers)
+}
+
+fn refine_campaign(workers: usize) -> RefineCampaign {
+    let mut c = snsp::search::refine_grid("ci", 1).expect("ci grid exists");
+    c.points.truncate(3);
+    c.refine.max_evals = 300;
+    c.with_workers(workers)
+}
+
+// Mirrors the `sharded-ci` grid the committed TELEMETRY.json is built
+// from, so the counter expectations below transfer to that artifact.
+fn serve_campaign(workers: usize) -> ServeCampaign {
+    let points = vec![
+        ServePoint::new("calm", TraceParams::poisson(0.6, 5.0, 20.0)),
+        ServePoint::new(
+            "flaky",
+            TraceParams::poisson(0.8, 5.0, 20.0).with_failures(0.1),
+        ),
+    ];
+    ServeCampaign::new("telemetry-int", points, 2)
+        .with_shards(4, workers)
+        .with_workers(workers)
+}
+
+/// The deterministic (Det-class) projection of a snapshot: counter
+/// values plus full histogram summaries, both name-sorted already.
+/// Restricted to touched metrics (value/count > 0) because metric
+/// registration outlives `capture()` within one process, so earlier
+/// campaigns in the same test binary leave zeroed entries behind.
+fn det_core(snap: &Snapshot) -> (CounterCore, HistogramCore) {
+    let counters = snap
+        .counters
+        .iter()
+        .filter(|c| c.class == Class::Det && c.value > 0)
+        .map(|c| (c.name.to_string(), c.value))
+        .collect();
+    let histograms = snap
+        .histograms
+        .iter()
+        .filter(|h| h.class == Class::Det && h.count > 0)
+        .map(|h| (h.name.to_string(), h.count, h.min, h.p50, h.max))
+        .collect();
+    (counters, histograms)
+}
+
+/// Telemetry is pure observation: every stable-form BENCH rendering must
+/// be byte-identical whether collection is on or off.
+#[test]
+fn stable_bench_artifacts_are_unperturbed_by_telemetry() {
+    let sweep_off = run_campaign(&sweep_campaign(2)).render_json(false);
+    let (sweep_on, _) = capture(|| run_campaign(&sweep_campaign(2)).render_json(false));
+    assert_eq!(sweep_off, sweep_on, "BENCH_sweep.json bytes moved");
+
+    let refine_off = run_refine_campaign(&refine_campaign(2)).render_json(false);
+    let (refine_on, _) = capture(|| run_refine_campaign(&refine_campaign(2)).render_json(false));
+    assert_eq!(refine_off, refine_on, "BENCH_refine.json bytes moved");
+
+    let serve_off = run_serve_campaign(&serve_campaign(2)).render_json(false);
+    let (serve_on, _) = capture(|| run_serve_campaign(&serve_campaign(2)).render_json(false));
+    assert_eq!(serve_off, serve_on, "BENCH_serve.json bytes moved");
+}
+
+/// The commutativity contract: Det-class counters and histograms agree
+/// at 1, 2 and 4 workers for all three campaign kinds (stable BENCH
+/// bytes too, with telemetry enabled throughout).
+#[test]
+fn deterministic_core_is_worker_count_independent() {
+    let (sweep_base, snap1) = capture(|| run_campaign(&sweep_campaign(1)).render_json(false));
+    let sweep_det = det_core(&snap1);
+    let (refine_base, snap1) =
+        capture(|| run_refine_campaign(&refine_campaign(1)).render_json(false));
+    let refine_det = det_core(&snap1);
+    let (serve_base, snap1) = capture(|| run_serve_campaign(&serve_campaign(1)).render_json(false));
+    let serve_det = det_core(&snap1);
+    assert!(
+        !serve_det.0.is_empty(),
+        "serve campaigns must register deterministic counters"
+    );
+    assert!(
+        !refine_det.0.is_empty(),
+        "refinement must register deterministic move counters"
+    );
+
+    for workers in [2usize, 4] {
+        let (body, snap) = capture(|| run_campaign(&sweep_campaign(workers)).render_json(false));
+        assert_eq!(
+            sweep_base, body,
+            "sweep bytes diverged at {workers} workers"
+        );
+        assert_eq!(
+            sweep_det,
+            det_core(&snap),
+            "sweep det core diverged at {workers} workers"
+        );
+        let (body, snap) =
+            capture(|| run_refine_campaign(&refine_campaign(workers)).render_json(false));
+        assert_eq!(
+            refine_base, body,
+            "refine bytes diverged at {workers} workers"
+        );
+        assert_eq!(
+            refine_det,
+            det_core(&snap),
+            "refine det core diverged at {workers} workers"
+        );
+        let (body, snap) =
+            capture(|| run_serve_campaign(&serve_campaign(workers)).render_json(false));
+        assert_eq!(
+            serve_base, body,
+            "serve bytes diverged at {workers} workers"
+        );
+        assert_eq!(
+            serve_det,
+            det_core(&snap),
+            "serve det core diverged at {workers} workers"
+        );
+    }
+}
+
+/// The sharded serve campaign must light up the counters the committed
+/// TELEMETRY.json is pinned on: admissions, ShardMsg volume, admission
+/// prunes — and the parallel pool must register steals in the overlay.
+#[test]
+fn sharded_serve_campaign_feeds_the_expected_counters() {
+    let (report, snap) = capture(|| run_serve_campaign(&serve_campaign(4)));
+    let admitted: usize = report.points.iter().map(|p| p.admitted).sum();
+    let rejected: usize = report.points.iter().map(|p| p.rejected).sum();
+    assert_eq!(
+        snap.counter("serve.admitted"),
+        Some(admitted as u64),
+        "admission counter must reconcile with the report"
+    );
+    assert_eq!(snap.counter("serve.rejected").unwrap_or(0), rejected as u64);
+    assert_eq!(
+        snap.counter("serve.shardmsg.admitted"),
+        Some(admitted as u64),
+        "every admission crosses the shard protocol exactly once"
+    );
+    let pruned = snap.counter("serve.admit.pack_pruned").unwrap_or(0)
+        + snap.counter("serve.consolidation.evac_pruned").unwrap_or(0);
+    assert!(
+        pruned > 0,
+        "admission packing or the consolidation sweep must charge prunes"
+    );
+    assert!(
+        snap.counter("pool.steals").unwrap_or(0) > 0,
+        "a 4-worker campaign pool must register steals"
+    );
+    assert!(
+        snap.histogram("serve.shard.admitted")
+            .is_some_and(|h| h.count > 0),
+        "per-shard admission imbalance histogram is recorded"
+    );
+    // Failure accounting reconciles even when the flaky trace happens
+    // to lose nobody (the counter then never registers).
+    let failures: usize = report.points.iter().map(|p| p.failures).sum();
+    assert_eq!(snap.counter("serve.failures").unwrap_or(0), failures as u64);
+}
+
+/// The solver's instrumentation surfaces pool stats and certified
+/// bounds through the facade, telemetry on or off.
+#[test]
+fn solver_surfaces_pool_stats_and_bounds_without_telemetry() {
+    let inst = snsp::gen::paper_instance(12, 0.9, 7);
+    let config = BranchBoundConfig {
+        node_budget: 200_000,
+        upper_bound: None,
+        workers: 4,
+    };
+    let res = solve_exact(&inst, &config);
+    assert!(res.nodes > 0);
+    if res.optimal && res.mapping.is_some() {
+        assert_eq!(res.bound, res.cost, "a proven optimum certifies itself");
+    } else {
+        assert_eq!(res.bound, lower_bound(&inst).value());
+    }
+    assert!(
+        res.pool.steals > 0,
+        "the coordinating thread seeds the deque, so a 4-worker solve steals"
+    );
+}
