@@ -35,6 +35,7 @@
 //! ever enters stable-form artifacts.
 
 use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -42,6 +43,7 @@ use snsp_telemetry::{Class, Counter, Gauge, Span as TraceSpan, SpanGuard};
 
 static POOL_STEALS: Counter = Counter::new("pool.steals", Class::Overlay);
 static POOL_DONATIONS: Counter = Counter::new("pool.donations", Class::Overlay);
+static POOL_PANICS: Counter = Counter::new("pool.panics", Class::Overlay);
 static POOL_PEAK_QUEUE: Gauge = Gauge::new("pool.peak_queue_depth", Class::Overlay);
 static POOL_BUSY: TraceSpan = TraceSpan::new("pool.worker.busy");
 static POOL_IDLE: TraceSpan = TraceSpan::new("pool.worker.idle");
@@ -65,6 +67,12 @@ pub struct PoolStats {
     /// Largest observed queue depth (static pools: the largest initial
     /// span).
     pub peak_queue: usize,
+    /// Jobs or tasks whose body unwound. Panics are contained with
+    /// `catch_unwind` so the executor always drains instead of
+    /// deadlocking on its pending counter; the count lets callers decide
+    /// whether the run's output is trustworthy ([`run_jobs_stats`]
+    /// re-raises, [`run_jobs_checked`] and [`TaskDeque::drain`] report).
+    pub panics: u64,
 }
 
 /// Process-unique token of the calling thread (1-based; assigned on
@@ -116,7 +124,34 @@ where
 /// results: steals = back-half range claims from a victim span,
 /// donations = 0 (the static pool never grows its frontier), peak queue
 /// depth = the largest initial span.
+///
+/// If any job panics the pool still drains every other job (the unwind
+/// is contained per-job), then this wrapper re-raises with the panic
+/// count — callers that want to keep the surviving results use
+/// [`run_jobs_checked`] instead.
 pub fn run_jobs_stats<T, F>(n_jobs: usize, workers: usize, job: F) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let (slots, stats) = run_jobs_checked(n_jobs, workers, job);
+    if stats.panics > 0 {
+        panic!("{} pool job(s) panicked", stats.panics);
+    }
+    let out = slots
+        .into_iter()
+        .map(|slot| slot.expect("every job index was claimed exactly once"))
+        .collect();
+    (out, stats)
+}
+
+/// Panic-containing form of [`run_jobs_stats`]: every job body runs
+/// under `catch_unwind`, a job that unwinds yields `None` in its result
+/// slot (and bumps [`PoolStats::panics`]), and every *other* job still
+/// runs to completion — a poisoned job can never deadlock or starve the
+/// pool. Results are positional, so `out[i]` is `Some` iff `job(i)`
+/// returned normally.
+pub fn run_jobs_checked<T, F>(n_jobs: usize, workers: usize, job: F) -> (Vec<Option<T>>, PoolStats)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -124,20 +159,26 @@ where
     if n_jobs == 0 {
         return (Vec::new(), PoolStats::default());
     }
+    let run_one = |i: usize, panics: &AtomicU64| {
+        let _busy = POOL_BUSY.start();
+        let out = catch_unwind(AssertUnwindSafe(|| job(i))).ok();
+        if out.is_none() {
+            panics.fetch_add(1, Ordering::Relaxed);
+            POOL_PANICS.incr();
+        }
+        out
+    };
     let workers = workers.clamp(1, n_jobs);
     if workers == 1 {
-        let out = (0..n_jobs)
-            .map(|i| {
-                let _busy = POOL_BUSY.start();
-                job(i)
-            })
-            .collect();
+        let panics = AtomicU64::new(0);
+        let out = (0..n_jobs).map(|i| run_one(i, &panics)).collect();
         return (
             out,
             PoolStats {
                 steals: 0,
                 donations: 0,
                 peak_queue: n_jobs,
+                panics: panics.into_inner(),
             },
         );
     }
@@ -157,13 +198,15 @@ where
         .unwrap_or(0);
     POOL_PEAK_QUEUE.record_max(peak_queue as u64);
     let steals = AtomicU64::new(0);
+    let panics = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for w in 0..workers {
             let queues = &queues;
             let slots = &slots;
-            let job = &job;
+            let run_one = &run_one;
             let steals = &steals;
+            let panics = &panics;
             scope.spawn(move || loop {
                 // Pop from the front of our own span.
                 let mine = {
@@ -177,8 +220,8 @@ where
                     }
                 };
                 if let Some(i) = mine {
-                    let _busy = POOL_BUSY.start();
-                    *slots[i].lock().unwrap() = Some(job(i));
+                    // A panicked job leaves its slot `None`.
+                    *slots[i].lock().unwrap() = run_one(i, panics);
                     continue;
                 }
                 // Steal the back half of the richest victim. Only one lock
@@ -215,11 +258,7 @@ where
 
     let out = slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("every job index was claimed exactly once")
-        })
+        .map(|slot| slot.into_inner().unwrap())
         .collect();
     (
         out,
@@ -227,6 +266,7 @@ where
             steals: steals.into_inner(),
             donations: 0,
             peak_queue,
+            panics: panics.into_inner(),
         },
     )
 }
@@ -281,6 +321,8 @@ pub struct TaskDeque<T> {
     donations: AtomicU64,
     /// Largest queue length ever observed under the lock.
     peak_queue: AtomicUsize,
+    /// Tasks whose body unwound inside [`drain`](Self::drain).
+    panics: AtomicU64,
 }
 
 impl<T> TaskDeque<T> {
@@ -297,6 +339,7 @@ impl<T> TaskDeque<T> {
             steals: AtomicU64::new(0),
             donations: AtomicU64::new(0),
             peak_queue: AtomicUsize::new(n),
+            panics: AtomicU64::new(0),
         }
     }
 
@@ -348,6 +391,24 @@ impl<T> TaskDeque<T> {
             steals: self.steals.load(Ordering::Relaxed),
             donations: self.donations.load(Ordering::Relaxed),
             peak_queue: self.peak_queue.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The panic-safe worker loop: pops every open task and runs `body`
+    /// on it, containing unwinds so the popped task is *always* declared
+    /// [`complete`](Self::complete) — a panicking task therefore counts
+    /// into [`PoolStats::panics`] instead of wedging the pending counter
+    /// and deadlocking every other worker's [`pop`](Self::pop). The body
+    /// may still [`push`](Self::push) splits before it unwinds; those
+    /// run normally on whichever worker claims them.
+    pub fn drain(&self, mut body: impl FnMut(T)) {
+        while let Some(task) = self.pop() {
+            if catch_unwind(AssertUnwindSafe(|| body(task))).is_err() {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+                POOL_PANICS.incr();
+            }
+            self.complete();
         }
     }
 
@@ -507,6 +568,7 @@ mod tests {
                 steals: 0,
                 donations: 0,
                 peak_queue: 9,
+                panics: 0,
             }
         );
         // Front-loaded long jobs force the later workers to steal.
@@ -550,5 +612,71 @@ mod tests {
         });
         assert!(deque.stats().steals > 0, "cross-thread seed claim");
         assert_eq!(deque.stats().donations, 30);
+    }
+
+    #[test]
+    fn run_jobs_checked_contains_panics_and_finishes_the_rest() {
+        for workers in [1, 3, 8] {
+            let calls = AtomicUsize::new(0);
+            let (out, stats) = run_jobs_checked(25, workers, |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                if i % 5 == 0 {
+                    panic!("job {i} poisoned");
+                }
+                i * 2
+            });
+            assert_eq!(calls.load(Ordering::Relaxed), 25, "{workers} workers");
+            assert_eq!(stats.panics, 5, "{workers} workers");
+            for (i, slot) in out.iter().enumerate() {
+                if i % 5 == 0 {
+                    assert_eq!(*slot, None, "poisoned job {i} must yield None");
+                } else {
+                    assert_eq!(*slot, Some(i * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pool job(s) panicked")]
+    fn run_jobs_stats_re_raises_after_draining() {
+        let _ = run_jobs_stats(8, 4, |i| {
+            if i == 3 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn task_deque_drain_survives_panicking_tasks() {
+        // The regression this guards: a task that unwinds between `pop`
+        // and `complete` used to leave `pending` stuck above zero, so
+        // every other worker spun in `pop` forever. `drain` must both
+        // terminate and still run every non-poisoned task exactly once.
+        for workers in [1, 2, 4, 8] {
+            let deque = TaskDeque::new(vec![0u32]);
+            let visited = AtomicUsize::new(0);
+            run_workers(workers, |_| {
+                deque.drain(|d| {
+                    visited.fetch_add(1, Ordering::Relaxed);
+                    if d < 4 {
+                        deque.push(d + 1);
+                        deque.push(d + 1);
+                    }
+                    if d == 2 {
+                        panic!("poisoned subtree");
+                    }
+                });
+            });
+            // Full binary tree of depth 4 = 31 nodes; splits happen
+            // before the panic, so every node is still visited.
+            assert_eq!(visited.into_inner(), 31, "{workers} workers");
+            assert_eq!(
+                deque.stats().panics,
+                4,
+                "{workers} workers: 2^2 nodes at depth 2"
+            );
+        }
     }
 }

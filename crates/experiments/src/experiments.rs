@@ -236,6 +236,231 @@ pub fn serve_tables(report: &snsp_serve::ServeCampaignReport, title: &str) -> Ve
     vec![t]
 }
 
+/// The named fault-injection grids behind the `chaos` CLI subcommand and
+/// the CI `chaos-smoke` job. `ci` is a small fixed grid — a
+/// crash/message-fault point, a capacity-revocation point with retries,
+/// and a degradation point — cheap enough to replay on every push (it is
+/// the committed `BENCH_chaos.json` artifact). `racks` sweeps correlated
+/// burst sizes; `msg-storm` sweeps transport-fault probabilities.
+pub fn chaos_grid(id: &str, seeds: u64) -> Option<snsp_serve::ChaosCampaign> {
+    use snsp_gen::TraceParams;
+    use snsp_serve::{ChaosCampaign, ChaosPoint, FaultSpec, RetryPolicy};
+    // Heavy tenants make faults bite: the platform must buy real
+    // capacity, so revocations and crashes displace actual residents.
+    let heavy = TraceParams::poisson(1.2, 50.0, 30.0)
+        .with_tenant_ops(12, 20)
+        .with_tenant_rho(8.0, 16.0);
+    let points = match id {
+        "ci" => vec![
+            ChaosPoint::new(
+                "crash-recovery",
+                TraceParams::poisson(0.6, 5.0, 20.0).with_failures(0.05),
+                FaultSpec::seeded(101)
+                    .with_crashes(0.25)
+                    .with_msg_faults(0.05, 0.03, 0.03)
+                    .with_retry(RetryPolicy::standard())
+                    .with_ticks(2.0),
+            ),
+            ChaosPoint::new(
+                "revocation",
+                heavy,
+                FaultSpec::seeded(202)
+                    .with_revocation(10.0, 14.0, 0.6)
+                    .with_retry(RetryPolicy::standard())
+                    .with_ticks(1.0),
+            ),
+            ChaosPoint::new(
+                "degrade",
+                TraceParams::poisson(1.5, 40.0, 24.0)
+                    .with_tenant_ops(12, 20)
+                    .with_tenant_rho(2.0, 4.0),
+                FaultSpec::seeded(303)
+                    .with_revocation(6.0, 22.0, 0.7)
+                    .with_retry(RetryPolicy::standard())
+                    .with_degradation(2, 1)
+                    .with_ticks(1.0),
+            ),
+        ],
+        "racks" => [1usize, 2, 4]
+            .into_iter()
+            .map(|size| {
+                ChaosPoint::new(
+                    format!("rack={size}"),
+                    TraceParams::poisson(0.8, 8.0, 40.0),
+                    FaultSpec::seeded(404 + size as u64)
+                        .with_racks(0.08, size)
+                        .with_retry(RetryPolicy::standard())
+                        .with_ticks(2.0),
+                )
+            })
+            .collect(),
+        "msg-storm" => [0.05f64, 0.15, 0.3]
+            .into_iter()
+            .map(|p| {
+                ChaosPoint::new(
+                    format!("drop={p:.2}"),
+                    TraceParams::poisson(0.8, 6.0, 30.0),
+                    FaultSpec::seeded(505)
+                        .with_msg_faults(p, p / 2.0, p / 2.0)
+                        .with_ticks(2.0),
+                )
+            })
+            .collect(),
+        _ => return None,
+    };
+    Some(ChaosCampaign::new(id, points, seeds).with_shards(2, 1))
+}
+
+/// Every grid id accepted by [`chaos_grid`].
+pub const CHAOS_GRID_IDS: &[&str] = &["ci", "racks", "msg-storm"];
+
+/// Parses a `--fault-plan` override: comma-separated `key=value` pairs
+/// replacing every grid point's fault spec.
+///
+/// Keys: `seed=N`, `crash=RATE`, `rack=RATE:SIZE`,
+/// `drop=P` / `dup=P` / `delay=P` (message faults),
+/// `revoke=START:END:FRAC`, `tick=DT`, `retry=BASE:FACTOR:MAX`,
+/// `degrade=PRESSURE:MAX_SHED`.
+pub fn parse_fault_plan(text: &str) -> Result<snsp_serve::FaultSpec, String> {
+    use snsp_serve::{DegradePolicy, FaultSpec, RetryPolicy};
+    let mut spec = FaultSpec::default();
+    for part in text.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--fault-plan entry {part:?} is not key=value"))?;
+        let nums: Vec<f64> = value
+            .split(':')
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| format!("--fault-plan {key}: {v:?} is not a number"))
+            })
+            .collect::<Result<_, _>>()?;
+        let arity = |n: usize| -> Result<(), String> {
+            if nums.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "--fault-plan {key} needs {n} colon-separated value(s), got {}",
+                    nums.len()
+                ))
+            }
+        };
+        match key {
+            "seed" => {
+                arity(1)?;
+                spec.seed = nums[0] as u64;
+            }
+            "crash" => {
+                arity(1)?;
+                spec.crash_rate = nums[0];
+            }
+            "rack" => {
+                arity(2)?;
+                spec.rack_rate = nums[0];
+                spec.rack_size = nums[1] as usize;
+            }
+            "drop" => {
+                arity(1)?;
+                spec.msg_drop = nums[0];
+            }
+            "dup" => {
+                arity(1)?;
+                spec.msg_dup = nums[0];
+            }
+            "delay" => {
+                arity(1)?;
+                spec.msg_delay = nums[0];
+            }
+            "revoke" => {
+                arity(3)?;
+                spec.revoke_at = Some((nums[0], nums[1]));
+                spec.revoke_frac = nums[2];
+            }
+            "tick" => {
+                arity(1)?;
+                spec.tick_every = nums[0];
+            }
+            "retry" => {
+                arity(3)?;
+                spec.retry = RetryPolicy {
+                    base: nums[0],
+                    factor: nums[1],
+                    max_attempts: nums[2] as u32,
+                };
+            }
+            "degrade" => {
+                arity(2)?;
+                spec.degrade = DegradePolicy {
+                    pressure: nums[0] as usize,
+                    max_shed: nums[1] as usize,
+                };
+            }
+            other => {
+                return Err(format!(
+                    "--fault-plan key {other:?} unknown (seed, crash, rack, drop, dup, delay, \
+                     revoke, tick, retry, degrade)"
+                ))
+            }
+        }
+    }
+    Ok(spec)
+}
+
+/// Renders the fault/recovery table from a chaos campaign report (the
+/// human-readable view of `BENCH_chaos.json`).
+pub fn chaos_tables(report: &snsp_serve::ChaosCampaignReport, title: &str) -> Vec<Table> {
+    let mut t = Table::new(
+        format!(
+            "{title} — fault injection and recovery over {} seeds",
+            report.seeds
+        ),
+        &[
+            "trace",
+            "arrivals",
+            "admit %",
+            "faults",
+            "crashes",
+            "msg d/d/d",
+            "readmit",
+            "shed",
+            "fp match",
+            "audit",
+        ],
+    );
+    for p in &report.points {
+        let s = &p.stats;
+        t.push(vec![
+            p.label.clone(),
+            p.arrivals.to_string(),
+            format!("{:.0}%", 100.0 * p.admission_rate()),
+            s.faults_injected.to_string(),
+            format!("{}/{} rec.", s.recoveries, s.crashes),
+            format!(
+                "{}/{}/{}",
+                s.msgs_dropped, s.msgs_duplicated, s.msgs_delayed
+            ),
+            format!(
+                "{}/{} ({:.0}%)",
+                s.readmitted,
+                s.retry_enqueued,
+                100.0 * p.readmission_rate()
+            ),
+            s.shed.to_string(),
+            match p.crash_fingerprint_match {
+                None => "-".into(),
+                Some(true) => "yes".into(),
+                Some(false) => "DIVERGED".into(),
+            },
+            if s.audit_failures == 0 {
+                "clean".into()
+            } else {
+                format!("{} FAILED", s.audit_failures)
+            },
+        ]);
+    }
+    vec![t]
+}
+
 /// Renders the heuristic-vs-refined-vs-exact table from a refinement
 /// campaign report (the human-readable view of `BENCH_refine.json`).
 pub fn refine_tables(report: &snsp_search::RefineCampaignReport, title: &str) -> Vec<Table> {
@@ -793,6 +1018,68 @@ mod tests {
         snsp_sweep::validate_serve_report(&report.render_json(true)).expect("v3 validates");
         let tables = serve_tables(&report, "sharded-ci");
         assert_eq!(tables[0].rows.len(), campaign.points.len());
+    }
+
+    #[test]
+    fn every_chaos_grid_id_builds_a_campaign() {
+        for id in CHAOS_GRID_IDS {
+            let campaign = chaos_grid(id, 2).unwrap_or_else(|| panic!("{id} should build"));
+            assert_eq!(campaign.id, *id);
+            assert!(!campaign.points.is_empty());
+            assert_eq!(campaign.shards, 2, "{id}");
+        }
+        assert!(chaos_grid("nope", 2).is_none());
+    }
+
+    #[test]
+    fn chaos_ci_grid_replays_validates_and_certifies_recovery() {
+        let campaign = chaos_grid("ci", 1).unwrap();
+        let report = snsp_serve::run_chaos_campaign(&campaign);
+        snsp_sweep::validate_chaos_report(&report.render_json(true)).expect("v6 validates");
+        let tables = chaos_tables(&report, "chaos-ci");
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), campaign.points.len());
+        // The crash point injects crashes and every one recovers
+        // fingerprint-identical to the crash-free reference replay; the
+        // revocation point displaces tenants and re-admits them through
+        // the retry queue; the invariant audit never fails.
+        let crash = &report.points[0];
+        assert!(crash.stats.crashes > 0, "crash point should inject crashes");
+        assert_eq!(crash.crash_fingerprint_match, Some(true));
+        let revoke = &report.points[1];
+        assert!(
+            revoke.stats.retry_enqueued > 0,
+            "revocation should displace"
+        );
+        assert!(revoke.readmission_rate() >= 0.9);
+        for p in &report.points {
+            assert_eq!(p.stats.audit_failures, 0, "{}", p.label);
+        }
+    }
+
+    #[test]
+    fn fault_plan_strings_parse_and_reject_garbage() {
+        let spec =
+            parse_fault_plan("crash=0.2,rack=0.1:2,drop=0.05,dup=0.02,delay=0.03,revoke=10:14:0.5,tick=2,retry=0.5:2:6,degrade=4:2,seed=7")
+                .expect("full spec parses");
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.crash_rate, 0.2);
+        assert_eq!(spec.rack_rate, 0.1);
+        assert_eq!(spec.rack_size, 2);
+        assert_eq!(spec.revoke_at, Some((10.0, 14.0)));
+        assert_eq!(spec.revoke_frac, 0.5);
+        assert_eq!(spec.retry.max_attempts, 6);
+        assert_eq!(spec.degrade.pressure, 4);
+        assert!(
+            parse_fault_plan("")
+                .expect("empty spec is all-off")
+                .crash_rate
+                == 0.0
+        );
+        assert!(parse_fault_plan("crash").is_err(), "missing =");
+        assert!(parse_fault_plan("crash=x").is_err(), "not a number");
+        assert!(parse_fault_plan("rack=0.1").is_err(), "wrong arity");
+        assert!(parse_fault_plan("warp=9").is_err(), "unknown key");
     }
 
     #[test]

@@ -27,6 +27,22 @@
 //!   --replay-workers sets the per-replay tick-batch worker count
 //!   (wall-clock only — never results).
 //!
+//! snsp-experiments chaos --grid <ci|racks|msg-storm>
+//!                        [--seeds K] [--workers W] [--replay-workers R]
+//!                        [--fault-plan SPEC] [--json PATH] [--stable-json]
+//!                        [--out DIR]
+//!   Replays the trace grid through the sharded tier under a seeded
+//!   fault plan (shard crashes with checkpoint/restore recovery,
+//!   dropped/duplicated/delayed shard messages, rack-correlated failure
+//!   bursts, capacity revocation with retry-queue readmission, graceful
+//!   degradation) and writes BENCH_chaos.json (schema v6, byte-identical
+//!   at any worker count in --stable-json form). Every point with
+//!   injected crashes is certified against a crash-free reference replay
+//!   (the crash_fingerprint_match column), and the platform invariants
+//!   are audited after every fault. --fault-plan overrides every point's
+//!   fault spec with comma-separated key=value pairs
+//!   (e.g. "crash=0.2,drop=0.05,revoke=10:14:0.5,retry=0.5:2:6,tick=2").
+//!
 //! snsp-experiments perf --grid <ci|large-n> [--seeds K] [--json PATH]
 //!                       [--out DIR]
 //!   Times the incremental demand engine against its retained reference
@@ -45,17 +61,18 @@
 //!
 //! snsp-experiments validate <PATH>
 //!   Schema-checks a BENCH_sweep.json (v1), BENCH_serve.json (v3, v2
-//!   accepted), BENCH_perf.json (v4), BENCH_refine.json (v4) or
-//!   TELEMETRY.json (v5) — the kinded documents sniffed via their "kind"
-//!   discriminator; exits non-zero on violations (cross-kind files are
-//!   rejected with the mismatching fields spelled out).
+//!   accepted), BENCH_perf.json (v4), BENCH_refine.json (v4),
+//!   TELEMETRY.json (v5) or BENCH_chaos.json (v6) — the kinded documents
+//!   sniffed via their "kind" discriminator; exits non-zero on
+//!   violations (cross-kind files are rejected with the mismatching
+//!   fields spelled out).
 //!
 //! snsp-experiments telemetry-summary <PATH>
 //!   Renders a TELEMETRY.json as human-readable tables: deterministic
 //!   counters and histograms, then the wall-clock overlay (gauges,
 //!   spans, latency percentiles).
 //!
-//! The sweep, serve, perf and refine subcommands accept --telemetry
+//! The sweep, serve, chaos, perf and refine subcommands accept --telemetry
 //! (capture counters/histograms/spans across the run) and
 //! --telemetry-out PATH (implies --telemetry; default
 //! <out>/TELEMETRY.json). With --stable-json the wall-clock overlay is
@@ -72,10 +89,10 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use snsp_search::run_refine_campaign;
-use snsp_serve::run_serve_campaign;
+use snsp_serve::{run_chaos_campaign, run_serve_campaign};
 use snsp_sweep::{
-    run_campaign, validate_perf_report, validate_refine_report, validate_report,
-    validate_serve_report, validate_telemetry_report, ReferenceConfig,
+    run_campaign, validate_chaos_report, validate_perf_report, validate_refine_report,
+    validate_report, validate_serve_report, validate_telemetry_report, ReferenceConfig,
 };
 use table::Table;
 
@@ -93,6 +110,7 @@ struct Args {
     validate_path: Option<PathBuf>,
     telemetry: bool,
     telemetry_out: Option<PathBuf>,
+    fault_plan: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -112,6 +130,7 @@ fn parse_args() -> Result<Args, String> {
         validate_path: None,
         telemetry: false,
         telemetry_out: None,
+        fault_plan: None,
     };
     if parsed.experiment == "validate" || parsed.experiment == "telemetry-summary" {
         parsed.validate_path =
@@ -162,6 +181,9 @@ fn parse_args() -> Result<Args, String> {
             "--json" => {
                 parsed.json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
             }
+            "--fault-plan" => {
+                parsed.fault_plan = Some(args.next().ok_or("--fault-plan needs a spec string")?);
+            }
             "--stable-json" => parsed.stable_json = true,
             "--reference" => parsed.reference = true,
             "--telemetry" => parsed.telemetry = true,
@@ -185,6 +207,9 @@ fn usage() -> String {
      [--telemetry] [--telemetry-out PATH]\n\
      \u{20}      snsp-experiments serve --grid <ID> [--seeds K] [--workers W] \
      [--replay-workers R] [--json PATH] [--stable-json] [--out DIR] \
+     [--telemetry] [--telemetry-out PATH]\n\
+     \u{20}      snsp-experiments chaos --grid <ci|racks|msg-storm> [--seeds K] [--workers W] \
+     [--replay-workers R] [--fault-plan SPEC] [--json PATH] [--stable-json] [--out DIR] \
      [--telemetry] [--telemetry-out PATH]\n\
      \u{20}      snsp-experiments perf --grid <ci|large-n> [--seeds K] [--json PATH] [--out DIR] \
      [--telemetry] [--telemetry-out PATH]\n\
@@ -383,6 +408,58 @@ fn run_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn run_chaos(args: &Args) -> Result<(), String> {
+    let grid_id = args
+        .grid
+        .as_deref()
+        .ok_or_else(|| format!("chaos needs --grid <id>\n{}", usage()))?;
+    let mut campaign = experiments::chaos_grid(grid_id, args.seeds).ok_or_else(|| {
+        format!(
+            "unknown chaos grid {grid_id}; available: {}",
+            experiments::CHAOS_GRID_IDS.join(" ")
+        )
+    })?;
+    if let Some(w) = args.workers {
+        campaign = campaign.with_workers(w);
+    }
+    if let Some(r) = args.replay_workers {
+        let shards = campaign.shards;
+        campaign = campaign.with_shards(shards, r);
+    }
+    if let Some(plan) = &args.fault_plan {
+        let spec = experiments::parse_fault_plan(plan)?;
+        for point in &mut campaign.points {
+            point.fault = spec;
+        }
+    }
+
+    let (report, telem) = run_captured(args.telemetry, || run_chaos_campaign(&campaign));
+    let tables = experiments::chaos_tables(&report, &format!("chaos campaign {grid_id}"));
+    write_tables(&format!("chaos_{grid_id}"), &tables, &args.out_dir);
+
+    let json_path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| args.out_dir.join("BENCH_chaos.json"));
+    let body = report.render_json(!args.stable_json);
+    validate_chaos_report(&body)
+        .map_err(|errors| format!("generated chaos report failed validation: {errors:?}"))?;
+    if let Some(dir) = json_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&json_path, &body)
+        .map_err(|e| format!("could not write {}: {e}", json_path.display()))?;
+    println!("[json] {}", json_path.display());
+    write_telemetry(args, telem, &format!("chaos {grid_id}"))?;
+    if let Some(t) = &report.timing {
+        println!(
+            "[chaos {grid_id}] {} traces on {} workers: run {:.3}s, total {:.3}s",
+            t.jobs, t.workers, t.run_s, t.total_s
+        );
+    }
+    Ok(())
+}
+
 fn run_refine(args: &Args) -> Result<(), String> {
     let grid_id = args
         .grid
@@ -433,8 +510,8 @@ fn run_validate(path: &PathBuf) -> Result<(), String> {
         .map_err(|e| format!("could not read {}: {e}", path.display()))?;
     // Sniff the document kind: serve reports carry `"kind": "serve"`,
     // perf reports `"kind": "perf"`, refine reports `"kind": "refine"`,
-    // telemetry reports `"kind": "telemetry"`; campaign reports (v1)
-    // have no kind. An unrecognized kind falls through to the v1
+    // telemetry reports `"kind": "telemetry"`, chaos reports
+    // `"kind": "chaos"`; campaign reports (v1) have no kind. An unrecognized kind falls through to the v1
     // validator, which rejects it with the mismatching fields named —
     // cross-kind files never validate silently.
     let kind = snsp_sweep::json::parse(&body).ok().and_then(|doc| {
@@ -456,6 +533,7 @@ fn run_validate(path: &PathBuf) -> Result<(), String> {
             "TELEMETRY.json (schema v5)",
             validate_telemetry_report(&body),
         ),
+        Some("chaos") => ("BENCH_chaos.json (schema v6)", validate_chaos_report(&body)),
         _ => ("BENCH_sweep.json (schema v1)", validate_report(&body)),
     };
     match outcome {
@@ -540,6 +618,13 @@ fn main() {
     }
     if args.experiment == "serve" {
         if let Err(e) = run_serve(&args) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.experiment == "chaos" {
+        if let Err(e) = run_chaos(&args) {
             eprintln!("{e}");
             std::process::exit(2);
         }

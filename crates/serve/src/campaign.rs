@@ -331,7 +331,7 @@ impl ServeCampaignReport {
     }
 }
 
-fn point_config_json(point: &ServePoint) -> Json {
+pub(crate) fn point_config_json(point: &ServePoint) -> Json {
     let p = &point.params;
     Json::obj(vec![
         ("label", Json::Str(point.label.clone())),

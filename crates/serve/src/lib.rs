@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod fault;
 pub mod platform;
 pub mod report;
 pub mod shard;
@@ -54,6 +55,11 @@ pub mod sim;
 
 pub use campaign::{
     run_serve_campaign, ServeCampaign, ServeCampaignReport, ServePoint, ServePointReport,
+};
+pub use fault::{
+    audit_platform, replay_trace_chaos, run_chaos_campaign, run_trace_chaos, ChaosCampaign,
+    ChaosCampaignReport, ChaosPoint, ChaosPointReport, ChaosReport, ChaosStats, DegradePolicy,
+    FaultEvent, FaultKind, FaultPlan, FaultSpec, RetryPolicy,
 };
 pub use platform::{
     AdmitError, AdmitOutcome, FailOutcome, LivePlatform, Tenant, DEFAULT_DEPART_EVALS,

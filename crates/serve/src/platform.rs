@@ -17,7 +17,7 @@
 //! tombstone so event logs and assignments keep stable ids for the whole
 //! trace. [`LivePlatform::snapshot`] compacts live slots into a
 //! contiguous [`MultiInstance`]/[`MultiSolution`] pair for offline
-//! verification ([`verify_joint`](snsp_core::multi::verify_joint)) and
+//! verification ([`verify_joint`]) and
 //! engine spot-runs.
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -28,7 +28,9 @@ use rand::SeedableRng;
 use snsp_core::heuristics::{Heuristic, HeuristicError, PipelineOptions};
 use snsp_core::ids::{OpId, ProcId, TenantId, TypeId};
 use snsp_core::instance::Instance;
-use snsp_core::multi::{shared_demand, DownloadLedger, MultiInstance, MultiSolution, SharedDemand};
+use snsp_core::multi::{
+    shared_demand, verify_joint, DownloadLedger, MultiInstance, MultiSolution, SharedDemand,
+};
 use snsp_core::object::ObjectCatalog;
 use snsp_core::platform::Platform;
 use snsp_telemetry::{Class, Counter};
@@ -65,6 +67,12 @@ pub enum AdmitError {
     },
     /// Server/link capacity could not source a required download stream.
     Downloads(HeuristicError),
+    /// The admission needed a new machine while purchases were frozen by
+    /// a capacity revocation ([`LivePlatform::set_purchase_freeze`]).
+    CapacityRevoked {
+        /// First operator of the group that needed the purchase.
+        op: OpId,
+    },
 }
 
 impl std::fmt::Display for AdmitError {
@@ -75,6 +83,12 @@ impl std::fmt::Display for AdmitError {
                 write!(f, "no processor (existing or new) can host operator {op}")
             }
             AdmitError::Downloads(e) => write!(f, "download sourcing failed: {e}"),
+            AdmitError::CapacityRevoked { op } => {
+                write!(
+                    f,
+                    "purchases frozen by capacity revocation; operator {op} needs a new machine"
+                )
+            }
         }
     }
 }
@@ -120,6 +134,10 @@ pub struct LivePlatform {
     slots: Vec<Option<usize>>,
     tenants: BTreeMap<u32, Tenant>,
     ledger: DownloadLedger,
+    /// When set (by a capacity revocation), no new machine may be
+    /// bought: admissions and failure re-maps must make do with the
+    /// already-purchased slots or fail/evict.
+    frozen: bool,
 }
 
 impl LivePlatform {
@@ -132,7 +150,24 @@ impl LivePlatform {
             slots: Vec::new(),
             tenants: BTreeMap::new(),
             ledger,
+            frozen: false,
         }
+    }
+
+    /// Freezes (or thaws) machine purchases. While frozen — the platform
+    /// model of a provider-side capacity revocation — total purchased
+    /// capacity may not grow: [`admit`](Self::admit) returns
+    /// [`AdmitError::CapacityRevoked`] instead of buying a machine *or*
+    /// upgrading an existing one's kind, and failure re-maps that would
+    /// buy or upgrade evict instead. Deterministic: the flag is explicit
+    /// state, toggled only by the fault schedule.
+    pub fn set_purchase_freeze(&mut self, frozen: bool) {
+        self.frozen = frozen;
+    }
+
+    /// Whether machine purchases are currently frozen.
+    pub fn purchase_frozen(&self) -> bool {
+        self.frozen
     }
 
     /// The shared object catalog.
@@ -406,6 +441,15 @@ impl LivePlatform {
                 let (base, base_types) = slot_bases.get(&u).unwrap_or(&empty_base);
                 let d = self.extend_demand(base, base_types, &inst, &block, on_slot);
                 if let Some(kind) = self.kind_fitting(&d) {
+                    // Frozen platforms may not grow capacity, so a fit
+                    // that needs a kind *upgrade* is refused like a buy.
+                    if self.frozen
+                        && self.platform.catalog.kind(kind).cost
+                            > self.platform.catalog.kind(slot.unwrap()).cost
+                    {
+                        SERVE_PACK_PRUNED.incr();
+                        continue;
+                    }
                     chosen = Some((u, kind, false));
                     break;
                 }
@@ -413,6 +457,9 @@ impl LivePlatform {
             }
             // Otherwise buy the cheapest machine hosting the group alone.
             if chosen.is_none() {
+                if self.frozen {
+                    return Err(AdmitError::CapacityRevoked { op: group.ops[0] });
+                }
                 let on_slot = |op: OpId| in_group.contains(&op.index());
                 let d = shared_demand(&[(&inst, group.ops.as_slice())], |_, op| on_slot(op));
                 let Some(kind) = self.kind_fitting(&d) else {
@@ -600,6 +647,12 @@ impl LivePlatform {
             let Some(kind) = self.kind_fitting(&d) else {
                 continue;
             };
+            if self.frozen
+                && self.platform.catalog.kind(kind).cost
+                    > self.platform.catalog.kind(self.slots[u].unwrap()).cost
+            {
+                continue; // re-map may not grow frozen capacity either
+            }
             let t = &self.tenants[&tid];
             let mut ledger = self.ledger.clone();
             if Self::ensure_downloads(&mut ledger, &self.platform, &self.objects, &t.inst, ops, u)
@@ -615,7 +668,12 @@ impl LivePlatform {
             }
             return true;
         }
-        // Buy a replacement machine.
+        // Buy a replacement machine (unless purchases are frozen by a
+        // capacity revocation — then the displaced tenant is evicted and
+        // left to the retry queue).
+        if self.frozen {
+            return false;
+        }
         let t = &self.tenants[&tid];
         let d = shared_demand(&[(&t.inst, ops)], |_, op| in_block.contains(&op.index()));
         let Some(kind) = self.kind_fitting(&d) else {
@@ -824,10 +882,112 @@ impl LivePlatform {
         }
     }
 
+    /// Evicts tenant `id` outright — the graceful-degradation shed:
+    /// unlike [`depart`](Self::depart) it skips the consolidation
+    /// refinement (shedding happens under pressure; the cheap reclaim
+    /// path is the point) but still prunes downloads, sells emptied
+    /// slots, and downgrades. Returns `false` if the tenant was not
+    /// resident.
+    pub fn shed(&mut self, id: TenantId) -> bool {
+        if !self.tenants.contains_key(&id.0) {
+            return false;
+        }
+        self.evict(id.0);
+        self.downgrade_all();
+        true
+    }
+
+    /// The degradation value of a resident tenant: its total demanded
+    /// compute `ρ·Σ work` in Gop/s (the serving revenue proxy — shed
+    /// ascending). `None` if not resident.
+    pub fn tenant_value(&self, id: TenantId) -> Option<f64> {
+        let t = self.tenants.get(&id.0)?;
+        Some(
+            t.inst
+                .tree
+                .ops()
+                .map(|op| t.inst.rho * t.inst.tree.work(op))
+                .sum(),
+        )
+    }
+
+    /// Checks every structural invariant the serving layer relies on and
+    /// returns the first violation as text. Clean platforms hold all of:
+    ///
+    /// 1. every resident operator is assigned to a **live** slot;
+    /// 2. every live slot hosts at least one operator (empty machines
+    ///    are sold eagerly, so a survivor is leaked state);
+    /// 3. download-ledger conservation: the multiset of `(slot, type)`
+    ///    streams equals — without duplicates — exactly the set the
+    ///    residents need;
+    /// 4. the compacted snapshot passes
+    ///    [`verify_joint`] (joint CPU /
+    ///    NIC / link / server feasibility).
+    ///
+    /// The chaos harness runs this after every injected fault
+    /// (`audit_platform` extends it with cross-shard checks).
+    pub fn audit(&self) -> Result<(), String> {
+        let mut occupied: BTreeSet<usize> = BTreeSet::new();
+        for (&tid, t) in &self.tenants {
+            if t.assignment.len() != t.inst.tree.len() {
+                return Err(format!("tenant {tid}: assignment/tree length mismatch"));
+            }
+            for op in t.inst.tree.ops() {
+                let u = t.assignment[op.index()].index();
+                if self.slots.get(u).is_none_or(|s| s.is_none()) {
+                    return Err(format!(
+                        "tenant {tid}: operator {op} assigned to dead slot {u}"
+                    ));
+                }
+                occupied.insert(u);
+            }
+        }
+        for u in 0..self.slots.len() {
+            if self.slots[u].is_some() && !occupied.contains(&u) {
+                return Err(format!("live slot {u} hosts no operators (leaked machine)"));
+            }
+        }
+        let mut have: Vec<(usize, TypeId)> = self
+            .ledger
+            .downloads()
+            .into_iter()
+            .map(|d| (d.proc.index(), d.ty))
+            .collect();
+        have.sort_unstable();
+        if let Some(w) = have.windows(2).find(|w| w[0] == w[1]) {
+            return Err(format!(
+                "duplicate download stream (slot {}, type {})",
+                w[0].0, w[0].1
+            ));
+        }
+        let mut need: BTreeSet<(usize, TypeId)> = BTreeSet::new();
+        for &u in &self.live_slots() {
+            for ty in self.slot_types(u) {
+                need.insert((u, ty));
+            }
+        }
+        for &(u, ty) in &have {
+            if !need.remove(&(u, ty)) {
+                return Err(format!(
+                    "ledger streams (slot {u}, type {ty}) which no resident needs"
+                ));
+            }
+        }
+        if let Some(&(u, ty)) = need.iter().next() {
+            return Err(format!(
+                "residents need (slot {u}, type {ty}) but the ledger has no stream"
+            ));
+        }
+        if let Some((multi, sol)) = self.snapshot() {
+            verify_joint(&multi, &sol).map_err(|e| format!("verify_joint failed: {e}"))?;
+        }
+        Ok(())
+    }
+
     /// Compacts the live platform into an offline snapshot: a
     /// [`MultiInstance`] over the resident tenants (ascending id — index
     /// `k` is `tenant_ids()[k]`) and the matching [`MultiSolution`], ready
-    /// for [`verify_joint`](snsp_core::multi::verify_joint) or per-tenant
+    /// for [`verify_joint`] or per-tenant
     /// engine projections via
     /// [`mapping_for`](snsp_core::multi::MultiSolution::mapping_for).
     /// `None` when no tenant is resident.
@@ -1040,6 +1200,70 @@ mod tests {
         live.depart_budgeted(TenantId(1), &mut budget);
         assert!(budget.used() >= slots.min(1_000).saturating_sub(1));
         assert!(budget.used() <= 1_000);
+    }
+
+    #[test]
+    fn purchase_freeze_blocks_buys_and_thaw_restores_them() {
+        let mut live = environment(9);
+        admit(&mut live, 0, spec(8, 1.0, 160)).expect("first tenant fits");
+        live.set_purchase_freeze(true);
+        assert!(live.purchase_frozen());
+        let cost = live.cost();
+        // A tenant too big to pack onto the existing machines needs a
+        // purchase, which the freeze must refuse — transactionally.
+        let big = spec(16, 8.0, 161);
+        match admit(&mut live, 1, big) {
+            Err(AdmitError::CapacityRevoked { .. }) => {}
+            other => panic!("expected CapacityRevoked, got {other:?}"),
+        }
+        assert_eq!(live.cost(), cost, "failed admission must not mutate");
+        assert_eq!(live.tenant_count(), 1);
+        live.audit().expect("frozen platform still audits clean");
+        live.set_purchase_freeze(false);
+        admit(&mut live, 1, big).expect("thawed platform admits by buying");
+        live.audit().expect("post-thaw platform audits clean");
+    }
+
+    #[test]
+    fn shed_reclaims_like_depart_without_refinement() {
+        let mut live = environment(10);
+        for id in 0..4u32 {
+            admit(&mut live, id, spec(8, 0.8, 180 + id as u64)).unwrap();
+        }
+        let values: Vec<f64> = (0..4u32)
+            .map(|id| live.tenant_value(TenantId(id)).unwrap())
+            .collect();
+        assert!(values.iter().all(|&v| v > 0.0));
+        assert!(live.shed(TenantId(2)));
+        assert!(!live.shed(TenantId(2)), "double shed is a no-op");
+        assert_eq!(live.tenant_count(), 3);
+        assert_eq!(live.tenant_value(TenantId(2)), None);
+        live.audit().expect("post-shed platform audits clean");
+        for id in [0u32, 1, 3] {
+            assert!(live.shed(TenantId(id)));
+        }
+        assert_eq!(live.cost(), 0, "shedding everyone reclaims everything");
+    }
+
+    #[test]
+    fn audit_passes_through_a_mutation_storm_and_catches_corruption() {
+        let mut live = environment(11);
+        live.audit().expect("empty platform");
+        for id in 0..6u32 {
+            let _ = admit(&mut live, id, spec(9, 0.7, 200 + id as u64));
+            live.audit().expect("after admission");
+        }
+        live.fail(5);
+        live.audit().expect("after failure");
+        live.depart(TenantId(0));
+        live.audit().expect("after departure");
+        // Corrupt the ledger: drop one stream a resident still needs.
+        let mut broken = live.clone();
+        let d = broken.ledger.downloads().into_iter().next().unwrap();
+        broken
+            .ledger
+            .release(broken.objects.rate(d.ty), d.proc, d.ty);
+        assert!(broken.audit().is_err(), "missing stream must be caught");
     }
 
     #[test]

@@ -141,7 +141,10 @@ pub enum ShardMsgKind {
         reused_procs: usize,
     },
     /// An arrival was refused; no state changed.
-    Rejected,
+    Rejected {
+        /// The refused tenant (the chaos retry queue re-admits it later).
+        tenant: TenantId,
+    },
     /// A tenant departed; machines and streams were reclaimed.
     Departed,
     /// A failure barrier evicted this tenant from the shard (the
@@ -228,6 +231,18 @@ impl ShardedPlatform {
     /// One shard's live platform.
     pub fn shard(&self, s: usize) -> &LivePlatform {
         &self.shards[s]
+    }
+
+    /// Mutable access to one shard (chaos replay: checkpoint restore,
+    /// purchase freezes, shedding).
+    pub(crate) fn shard_mut(&mut self, s: usize) -> &mut LivePlatform {
+        &mut self.shards[s]
+    }
+
+    /// Mutable access to every shard at once (chaos replay hands each
+    /// worker one exclusive cell, like the sharded flush).
+    pub(crate) fn shards_mut(&mut self) -> &mut [LivePlatform] {
+        &mut self.shards
     }
 
     /// The shard `tenant` routes to.
@@ -325,23 +340,23 @@ impl ShardedPlatform {
 /// One shard's private slice of a tick: the events it must replay, in
 /// trace order.
 #[derive(Default)]
-struct ShardBatch {
-    events: Vec<TimedEvent>,
+pub(crate) struct ShardBatch {
+    pub(crate) events: Vec<TimedEvent>,
 }
 
 /// Folds [`ShardMsg`]s into the global, piecewise-constant accounting:
 /// cost and utilization integrals, peaks, and the merged event log.
-struct Coordinator {
-    last_t: f64,
-    cost: Vec<u64>,
-    procs: Vec<usize>,
-    used: Vec<f64>,
-    speed: Vec<f64>,
-    report: TraceReport,
+pub(crate) struct Coordinator {
+    pub(crate) last_t: f64,
+    pub(crate) cost: Vec<u64>,
+    pub(crate) procs: Vec<usize>,
+    pub(crate) used: Vec<f64>,
+    pub(crate) speed: Vec<f64>,
+    pub(crate) report: TraceReport,
 }
 
 impl Coordinator {
-    fn new(shards: usize) -> Self {
+    pub(crate) fn new(shards: usize) -> Self {
         Coordinator {
             last_t: 0.0,
             cost: vec![0; shards],
@@ -353,7 +368,7 @@ impl Coordinator {
     }
 
     /// Integrates the current global totals up to `to`.
-    fn advance(&mut self, to: f64) {
+    pub(crate) fn advance(&mut self, to: f64) {
         let dt = to - self.last_t;
         let cost: u64 = self.cost.iter().sum();
         let speed: f64 = self.speed.iter().sum();
@@ -367,7 +382,7 @@ impl Coordinator {
 
     /// Applies one message: advance time, update the shard column, fold
     /// counters, peaks and log lines.
-    fn apply(&mut self, msg: &ShardMsg) {
+    pub(crate) fn apply(&mut self, msg: &ShardMsg) {
         self.advance(msg.time);
         self.cost[msg.shard] = msg.cost;
         self.procs[msg.shard] = msg.procs;
@@ -380,7 +395,7 @@ impl Coordinator {
                 SERVE_ADMITTED.incr();
                 MSG_ADMITTED.incr();
             }
-            ShardMsgKind::Rejected => {
+            ShardMsgKind::Rejected { .. } => {
                 self.report.arrivals += 1;
                 self.report.rejected += 1;
                 SERVE_REJECTED.incr();
@@ -418,7 +433,7 @@ impl Coordinator {
 /// Replays one shard's tick batch against its private platform,
 /// producing the outbound messages and the (wall-clock, thus unstable)
 /// admission-latency samples.
-fn replay_batch(
+pub(crate) fn replay_batch(
     shard_ix: usize,
     live: &mut LivePlatform,
     batch: &ShardBatch,
@@ -499,7 +514,7 @@ fn replay_batch(
                     Err(e) => {
                         let line =
                             format!("{t:.6} s{shard_ix} reject t{tenant} n={} ({e})", spec.n_ops);
-                        push(live, t, &mut seq, ShardMsgKind::Rejected, line);
+                        push(live, t, &mut seq, ShardMsgKind::Rejected { tenant }, line);
                     }
                 }
             }

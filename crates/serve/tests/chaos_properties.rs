@@ -1,0 +1,97 @@
+//! Property tests for the fault-injection tier's recovery guarantee:
+//! for *arbitrary* seeded fault plans — crash rate, tick cadence, plan
+//! seed and trace all drawn by proptest — a chaos replay with shard
+//! crashes must be indistinguishable from the same replay without them
+//! (checkpoint/restore recovery is unobservable), at every worker
+//! count, with the invariant audit clean throughout.
+
+use proptest::prelude::*;
+use snsp_gen::{generate_trace, TraceParams};
+use snsp_serve::{
+    audit_platform, replay_trace_chaos, ChaosStats, FaultPlan, FaultSpec, RetryPolicy, ServeConfig,
+    ShardOptions,
+};
+
+proptest! {
+    // Each case runs two full sharded replays; bounded so the suite
+    // stays fast in CI. PROPTEST_CASES overrides for deeper runs.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Checkpoint/restore recovery equals the uninterrupted run: same
+    /// event log, same final cost, same platform fingerprint — for any
+    /// crash schedule, at any worker and shard count.
+    #[test]
+    fn crash_recovery_equals_the_uninterrupted_replay(
+        trace_seed in 0u64..1000,
+        plan_seed in 0u64..1000,
+        crash_rate in 0.05f64..0.5,
+        tick in 1.0f64..4.0,
+        shards in 1usize..4,
+        workers in 1usize..5,
+    ) {
+        let params = TraceParams::poisson(0.6, 4.0, 16.0).with_failures(0.08);
+        let trace = generate_trace(&params, trace_seed);
+        let spec = FaultSpec::seeded(plan_seed)
+            .with_crashes(crash_rate)
+            .with_retry(RetryPolicy::standard())
+            .with_ticks(tick);
+        let plan = FaultPlan::instantiate(&spec, params.horizon);
+        let opts = ShardOptions { shards, workers };
+        let (chaos, state) =
+            replay_trace_chaos(&trace, &ServeConfig::default(), &opts, &plan);
+        let (clean, clean_state) =
+            replay_trace_chaos(&trace, &ServeConfig::default(), &opts, &plan.without_crashes());
+        prop_assert_eq!(chaos.stats.crashes, plan.crash_count());
+        prop_assert_eq!(chaos.stats.recoveries, chaos.stats.crashes);
+        prop_assert_eq!(&chaos.base.log, &clean.base.log);
+        prop_assert_eq!(chaos.base.final_cost, clean.base.final_cost);
+        prop_assert_eq!(chaos.base.cost_time_integral, clean.base.cost_time_integral);
+        prop_assert_eq!(state.fingerprint(), clean_state.fingerprint());
+        prop_assert_eq!(chaos.stats.audit_failures, 0);
+        prop_assert!(audit_platform(&state).is_ok());
+    }
+
+    /// The whole chaos replay — crashes, message faults and retries
+    /// together — is a pure function of (trace, plan): the worker count
+    /// never shows in the log, the stats or the final state.
+    #[test]
+    fn chaos_replay_is_deterministic_across_worker_counts(
+        trace_seed in 0u64..1000,
+        plan_seed in 0u64..1000,
+        fault_p in 0.02f64..0.2,
+    ) {
+        let params = TraceParams::poisson(0.6, 4.0, 14.0).with_failures(0.08);
+        let trace = generate_trace(&params, trace_seed);
+        let spec = FaultSpec::seeded(plan_seed)
+            .with_crashes(0.2)
+            .with_msg_faults(fault_p, fault_p / 2.0, fault_p / 2.0)
+            .with_retry(RetryPolicy::standard())
+            .with_ticks(2.0);
+        let plan = FaultPlan::instantiate(&spec, params.horizon);
+        let serial = ShardOptions { shards: 2, workers: 1 };
+        let (base, base_state) =
+            replay_trace_chaos(&trace, &ServeConfig::default(), &serial, &plan);
+        for workers in [2usize, 4] {
+            let opts = ShardOptions { shards: 2, workers };
+            let (other, state) =
+                replay_trace_chaos(&trace, &ServeConfig::default(), &opts, &plan);
+            prop_assert_eq!(&base.base.log, &other.base.log);
+            prop_assert_eq!(&base.stats, &other.stats);
+            prop_assert_eq!(base_state.fingerprint(), state.fingerprint());
+        }
+    }
+
+    /// An empty fault plan leaves no trace: chaos stats stay zeroed no
+    /// matter the trace or topology.
+    #[test]
+    fn empty_plans_inject_nothing(trace_seed in 0u64..1000, shards in 1usize..4) {
+        let params = TraceParams::poisson(0.5, 4.0, 12.0);
+        let trace = generate_trace(&params, trace_seed);
+        let plan = FaultPlan::instantiate(&FaultSpec::default(), params.horizon);
+        let opts = ShardOptions { shards, workers: 2 };
+        let (chaos, state) =
+            replay_trace_chaos(&trace, &ServeConfig::default(), &opts, &plan);
+        prop_assert_eq!(&chaos.stats, &ChaosStats::default());
+        prop_assert!(audit_platform(&state).is_ok());
+    }
+}

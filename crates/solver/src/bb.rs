@@ -757,14 +757,19 @@ mod parallel {
                 shared: &shared,
                 task_nodes: 0,
             };
-            while let Some(prefix) = shared.deque.pop() {
-                worker.run_task(&prefix);
-                shared.deque.complete();
-            }
+            // `drain` contains task panics: a poisoned subtree is counted
+            // (and poisons the certificate below) instead of wedging the
+            // pending counter and deadlocking the sibling workers.
+            shared.deque.drain(|prefix| worker.run_task(&prefix));
         });
+        let pool = shared.deque.stats();
+        if pool.panics > 0 {
+            // Subtrees were lost mid-search, so the incumbent can no
+            // longer be certified optimal.
+            shared.truncated.store(true, Ordering::Relaxed);
+        }
         let cost = shared.best_cost.load(Ordering::Relaxed);
         let optimal = !shared.truncated.load(Ordering::Relaxed);
-        let pool = shared.deque.stats();
         let mapping = shared.best.into_inner().unwrap();
         ExactResult {
             cost,

@@ -55,9 +55,10 @@ pub use campaign::{run_campaign, Campaign, PointSpec, ReferenceConfig, PIPELINE_
 pub use json::Json;
 pub use pool::run_jobs;
 pub use schema::{
-    validate_perf_report, validate_refine_report, validate_report, validate_serve_report,
-    validate_telemetry_report, PERF_SCHEMA_VERSION, REFINE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION,
-    SERVE_SCHEMA_VERSION_MIN, TELEMETRY_SCHEMA_VERSION,
+    validate_chaos_report, validate_perf_report, validate_refine_report, validate_report,
+    validate_serve_report, validate_telemetry_report, CHAOS_SCHEMA_VERSION, PERF_SCHEMA_VERSION,
+    REFINE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION_MIN,
+    TELEMETRY_SCHEMA_VERSION,
 };
 pub use sink::{
     CampaignReport, HeurStats, PhaseTiming, PointReport, ReferenceStats, SCHEMA_VERSION,

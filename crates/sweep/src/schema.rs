@@ -41,6 +41,12 @@ pub const REFINE_SCHEMA_VERSION: i64 = 4;
 /// report (`TELEMETRY.json`, `kind: "telemetry"`).
 pub const TELEMETRY_SCHEMA_VERSION: i64 = 5;
 
+/// The schema version stamped into (and required of) every chaos report
+/// (`BENCH_chaos.json`, `kind: "chaos"`): fault-injection campaigns over
+/// the sharded serve tier, with per-point fault/recovery/retry counters,
+/// the crash-recovery fingerprint verdict and the invariant-audit count.
+pub const CHAOS_SCHEMA_VERSION: i64 = 6;
+
 /// Checks the `kind` discriminator against the kind a validator expects,
 /// producing an error that names **both** the expected and the found
 /// kind — so a cross-kind mistake (validating a serve report with the
@@ -1133,6 +1139,287 @@ fn validate_reference(reference: &Json, i: usize, errors: &mut Vec<String>) {
     match reference.get("mean_cost") {
         Some(Json::Null) | Some(Json::Num(_)) | Some(Json::Int(_)) => {}
         _ => errors.push(format!("{at}.mean_cost must be a number or null")),
+    }
+}
+
+/// Validates a serialized chaos campaign report against schema v6 (the
+/// `BENCH_chaos.json` document written by `snsp-serve`'s fault-injection
+/// campaigns; `kind: "chaos"`).
+///
+/// Beyond structure, this enforces the recovery *semantics* the chaos
+/// tier promises: every drop retransmitted, every duplicate discarded,
+/// every crash recovered, `crash_fingerprint_match` true wherever
+/// crashes were scheduled, and zero invariant-audit failures.
+///
+/// Returns every violation found (empty ⇒ valid); a parse failure is a
+/// single violation.
+pub fn validate_chaos_report(text: &str) -> Result<(), Vec<String>> {
+    let doc = match parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Err(vec![format!("not JSON: {e}")]),
+    };
+    let mut errors = Vec::new();
+    check_kind(&doc, Some("chaos"), &mut errors);
+    let mut check = |cond: bool, msg: &str| {
+        if !cond {
+            errors.push(msg.to_string());
+        }
+    };
+
+    check(
+        doc.get("schema_version").and_then(Json::as_int) == Some(CHAOS_SCHEMA_VERSION),
+        "schema_version must be the integer 6",
+    );
+    check(
+        doc.get("generator")
+            .and_then(Json::as_str)
+            .is_some_and(|s| s.starts_with("snsp-serve")),
+        "generator must be an snsp-serve version string",
+    );
+    check(
+        doc.get("campaign")
+            .and_then(Json::as_str)
+            .is_some_and(|s| !s.is_empty()),
+        "campaign must be a non-empty string",
+    );
+
+    let point_count = match doc.get("config") {
+        None => {
+            errors.push("config object missing".to_string());
+            None
+        }
+        Some(config) => {
+            if config.get("seeds").and_then(Json::as_int).unwrap_or(0) < 1 {
+                errors.push("config.seeds must be a positive integer".to_string());
+            }
+            if config.get("shards").and_then(Json::as_int).unwrap_or(0) < 1 {
+                errors.push("config.shards must be a positive integer".to_string());
+            }
+            match config.get("points").and_then(Json::as_arr) {
+                None => {
+                    errors.push("config.points must be an array".to_string());
+                    None
+                }
+                Some(points) => {
+                    for (i, p) in points.iter().enumerate() {
+                        if p.get("label").and_then(Json::as_str).is_none() {
+                            errors.push(format!("config.points[{i}].label must be a string"));
+                        }
+                        for key in ["lambda", "mean_hold", "horizon"] {
+                            if !p.get(key).and_then(Json::as_num).is_some_and(|v| v > 0.0) {
+                                errors.push(format!(
+                                    "config.points[{i}].{key} must be a positive number"
+                                ));
+                            }
+                        }
+                        match p.get("fault") {
+                            None => {
+                                errors.push(format!("config.points[{i}].fault object missing"));
+                            }
+                            Some(fault) => {
+                                for key in [
+                                    "crash_rate",
+                                    "rack_rate",
+                                    "msg_drop",
+                                    "msg_dup",
+                                    "msg_delay",
+                                ] {
+                                    if !fault
+                                        .get(key)
+                                        .and_then(Json::as_num)
+                                        .is_some_and(|v| v >= 0.0)
+                                    {
+                                        errors.push(format!(
+                                            "config.points[{i}].fault.{key} must be a \
+                                             non-negative number"
+                                        ));
+                                    }
+                                }
+                                match fault.get("revoke") {
+                                    None => errors.push(format!(
+                                        "config.points[{i}].fault.revoke key missing"
+                                    )),
+                                    Some(Json::Null) => {}
+                                    Some(r) => {
+                                        for key in ["start", "end", "frac"] {
+                                            if r.get(key).and_then(Json::as_num).is_none() {
+                                                errors.push(format!(
+                                                    "config.points[{i}].fault.revoke.{key} \
+                                                     must be a number"
+                                                ));
+                                            }
+                                        }
+                                    }
+                                }
+                                if fault
+                                    .get("retry")
+                                    .and_then(|r| r.get("max_attempts"))
+                                    .and_then(Json::as_int)
+                                    .is_none()
+                                {
+                                    errors.push(format!(
+                                        "config.points[{i}].fault.retry.max_attempts must be \
+                                         an integer"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    Some(points.len())
+                }
+            }
+        }
+    };
+
+    match doc.get("results").and_then(Json::as_arr) {
+        None => errors.push("results must be an array".to_string()),
+        Some(results) => {
+            if let Some(n) = point_count {
+                if results.len() != n {
+                    errors.push(format!(
+                        "results has {} entries but config.points has {n}",
+                        results.len()
+                    ));
+                }
+            }
+            for (i, point) in results.iter().enumerate() {
+                let at = format!("results[{i}]");
+                if point.get("label").and_then(Json::as_str).is_none() {
+                    errors.push(format!("{at}.label must be a string"));
+                }
+                let mut int_of = |key: &str| -> Option<i64> {
+                    let v = point.get(key).and_then(Json::as_int).filter(|&v| v >= 0);
+                    if v.is_none() {
+                        errors.push(format!("{at}.{key} must be a non-negative integer"));
+                    }
+                    v
+                };
+                let arrivals = int_of("arrivals");
+                let admitted = int_of("admitted");
+                let rejected = int_of("rejected");
+                let crashes = int_of("crashes");
+                let recoveries = int_of("recoveries");
+                let dropped = int_of("msgs_dropped");
+                let retransmitted = int_of("msgs_retransmitted");
+                let duplicated = int_of("msgs_duplicated");
+                let discarded = int_of("dups_discarded");
+                let audit_failures = int_of("audit_failures");
+                for key in [
+                    "traces",
+                    "departed",
+                    "evicted",
+                    "failures",
+                    "faults_injected",
+                    "rack_failures",
+                    "revocations",
+                    "msgs_delayed",
+                    "retry_enqueued",
+                    "readmitted",
+                    "retry_dropped",
+                    "shed",
+                ] {
+                    int_of(key);
+                }
+                if let (Some(a), Some(ad), Some(r)) = (arrivals, admitted, rejected) {
+                    if ad + r != a {
+                        errors.push(format!("{at}: admitted + rejected must equal arrivals"));
+                    }
+                }
+                if let (Some(c), Some(r)) = (crashes, recoveries) {
+                    if c != r {
+                        errors.push(format!(
+                            "{at}: every crash must recover (crashes == recoveries)"
+                        ));
+                    }
+                }
+                if let (Some(d), Some(r)) = (dropped, retransmitted) {
+                    if d != r {
+                        errors.push(format!(
+                            "{at}: every dropped message must be retransmitted \
+                             (msgs_dropped == msgs_retransmitted)"
+                        ));
+                    }
+                }
+                if let (Some(d), Some(x)) = (duplicated, discarded) {
+                    if d != x {
+                        errors.push(format!(
+                            "{at}: every duplicated message must be discarded \
+                             (msgs_duplicated == dups_discarded)"
+                        ));
+                    }
+                }
+                if audit_failures.is_some_and(|v| v != 0) {
+                    errors.push(format!(
+                        "{at}.audit_failures must be 0 — a platform invariant broke under faults"
+                    ));
+                }
+                for (key, lo, hi) in [("admission_rate", 0.0, 1.0), ("readmission_rate", 0.0, 1.0)]
+                {
+                    if !point
+                        .get(key)
+                        .and_then(Json::as_num)
+                        .is_some_and(|v| (lo..=hi).contains(&v))
+                    {
+                        errors.push(format!("{at}.{key} must be a number in [{lo}, {hi}]"));
+                    }
+                }
+                match point.get("crash_fingerprint_match") {
+                    // Null ⇒ no crashes were scheduled at this point.
+                    Some(Json::Null) => {
+                        if crashes.is_some_and(|c| c > 0) {
+                            errors.push(format!(
+                                "{at}.crash_fingerprint_match must not be null when crashes > 0"
+                            ));
+                        }
+                    }
+                    Some(Json::Bool(true)) => {}
+                    Some(Json::Bool(false)) => errors.push(format!(
+                        "{at}.crash_fingerprint_match is false — a crash recovery diverged \
+                         from the uninterrupted replay"
+                    )),
+                    _ => errors.push(format!(
+                        "{at}.crash_fingerprint_match must be a boolean or null"
+                    )),
+                }
+                if !point
+                    .get("mean_final_cost")
+                    .and_then(Json::as_num)
+                    .is_some_and(|v| v >= 0.0)
+                {
+                    errors.push(format!(
+                        "{at}.mean_final_cost must be a non-negative number"
+                    ));
+                }
+                if point
+                    .get("log_hash")
+                    .and_then(Json::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    errors.push(format!("{at}.log_hash must be a non-empty string"));
+                }
+            }
+        }
+    }
+
+    if let Some(timing) = doc.get("timing") {
+        if timing.get("workers").and_then(Json::as_int).unwrap_or(0) < 1 {
+            errors.push("timing.workers must be a positive integer".to_string());
+        }
+        for key in ["flatten_s", "run_s", "aggregate_s", "total_s"] {
+            if !timing
+                .get(key)
+                .and_then(Json::as_num)
+                .is_some_and(|v| v >= 0.0)
+            {
+                errors.push(format!("timing.{key} must be a non-negative number"));
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
     }
 }
 
