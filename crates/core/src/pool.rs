@@ -77,6 +77,23 @@ pub struct PoolStats {
 
 /// Process-unique token of the calling thread (1-based; assigned on
 /// first use). `ThreadId` would do, but its integer form is unstable.
+/// Records a work-steal trace event (overlay class — which worker
+/// steals is scheduling-dependent). The worker token doubles as the
+/// logical shard lane so steals group per thread in timeline exports.
+fn record_steal() {
+    let worker = thread_token() as u64;
+    snsp_telemetry::trace::record(
+        Class::Overlay,
+        0,
+        snsp_telemetry::trace::LogicalTime {
+            tick: 0,
+            shard: worker as u32,
+            seq: 0,
+        },
+        snsp_telemetry::trace::TraceEventKind::Steal { worker },
+    );
+}
+
 fn thread_token() -> usize {
     static NEXT: AtomicUsize = AtomicUsize::new(1);
     thread_local! {
@@ -250,6 +267,7 @@ where
                 if let Some(s) = stolen {
                     steals.fetch_add(1, Ordering::Relaxed);
                     POOL_STEALS.incr();
+                    record_steal();
                     *queues[w].lock().unwrap() = s;
                 }
             });
@@ -370,6 +388,7 @@ impl<T> TaskDeque<T> {
                     if token != thread_token() {
                         self.steals.fetch_add(1, Ordering::Relaxed);
                         POOL_STEALS.incr();
+                        record_steal();
                     }
                     return Some(task);
                 }

@@ -62,15 +62,30 @@
 //! snsp-experiments validate <PATH>
 //!   Schema-checks a BENCH_sweep.json (v1), BENCH_serve.json (v3, v2
 //!   accepted), BENCH_perf.json (v4), BENCH_refine.json (v4),
-//!   TELEMETRY.json (v5) or BENCH_chaos.json (v6) — the kinded documents
-//!   sniffed via their "kind" discriminator; exits non-zero on
-//!   violations (cross-kind files are rejected with the mismatching
-//!   fields spelled out).
+//!   TELEMETRY.json (v5), BENCH_chaos.json (v6) or TRACE.json (v7) —
+//!   the kinded documents sniffed via their "kind" discriminator; exits
+//!   non-zero on violations (cross-kind files are rejected with the
+//!   mismatching fields spelled out).
 //!
 //! snsp-experiments telemetry-summary <PATH>
 //!   Renders a TELEMETRY.json as human-readable tables: deterministic
-//!   counters and histograms, then the wall-clock overlay (gauges,
-//!   spans, latency percentiles).
+//!   counters and histograms, the executor-pool roll-up, then the
+//!   wall-clock overlay (gauges, spans, latency percentiles).
+//!
+//! snsp-experiments report diff <A> <B> [--timing-tolerance FRAC]
+//!   Structurally compares two same-kind report artifacts: strict on
+//!   deterministic columns, toleranced (or informational, without a
+//!   threshold) on wall-clock/RSS columns. Prints the regression table
+//!   and exits non-zero when a deterministic column moved — the CI
+//!   regression sentinel.
+//!
+//! The serve and chaos subcommands accept --trace-out PATH: record the
+//! causal event trace across the run and write the deterministic
+//! TRACE.json (schema v7, byte-identical at any worker count) plus a
+//! Chrome trace_event timeline at <stem>.chrome.json (load it at
+//! chrome://tracing or ui.perfetto.dev). Under chaos, the flight
+//! recorder dumps to <stem>.flight.json on audit failure or a contained
+//! pool panic.
 //!
 //! The sweep, serve, chaos, perf and refine subcommands accept --telemetry
 //! (capture counters/histograms/spans across the run) and
@@ -91,8 +106,9 @@ use std::time::Instant;
 use snsp_search::run_refine_campaign;
 use snsp_serve::{run_chaos_campaign, run_serve_campaign};
 use snsp_sweep::{
-    run_campaign, validate_chaos_report, validate_perf_report, validate_refine_report,
-    validate_report, validate_serve_report, validate_telemetry_report, ReferenceConfig,
+    diff_reports, run_campaign, validate_chaos_report, validate_perf_report,
+    validate_refine_report, validate_report, validate_serve_report, validate_telemetry_report,
+    validate_trace_report, DiffOptions, ReferenceConfig,
 };
 use table::Table;
 
@@ -111,6 +127,9 @@ struct Args {
     telemetry: bool,
     telemetry_out: Option<PathBuf>,
     fault_plan: Option<String>,
+    trace_out: Option<PathBuf>,
+    diff_paths: Option<(PathBuf, PathBuf)>,
+    timing_tolerance: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -131,6 +150,9 @@ fn parse_args() -> Result<Args, String> {
         telemetry: false,
         telemetry_out: None,
         fault_plan: None,
+        trace_out: None,
+        diff_paths: None,
+        timing_tolerance: None,
     };
     if parsed.experiment == "validate" || parsed.experiment == "telemetry-summary" {
         parsed.validate_path =
@@ -138,6 +160,21 @@ fn parse_args() -> Result<Args, String> {
                 format!("{} needs a JSON path", parsed.experiment)
             })?));
         return Ok(parsed);
+    }
+    if parsed.experiment == "report" {
+        match args.next().as_deref() {
+            Some("diff") => {}
+            other => {
+                return Err(format!(
+                    "report needs the diff verb (got {:?})\n{}",
+                    other.unwrap_or("nothing"),
+                    usage()
+                ))
+            }
+        }
+        let a = PathBuf::from(args.next().ok_or("report diff needs two JSON paths")?);
+        let b = PathBuf::from(args.next().ok_or("report diff needs two JSON paths")?);
+        parsed.diff_paths = Some((a, b));
     }
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -184,6 +221,19 @@ fn parse_args() -> Result<Args, String> {
             "--fault-plan" => {
                 parsed.fault_plan = Some(args.next().ok_or("--fault-plan needs a spec string")?);
             }
+            "--trace-out" => {
+                parsed.trace_out = Some(PathBuf::from(
+                    args.next().ok_or("--trace-out needs a path")?,
+                ));
+            }
+            "--timing-tolerance" => {
+                parsed.timing_tolerance = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&t: &f64| t >= 0.0)
+                        .ok_or("--timing-tolerance needs a non-negative fraction")?,
+                );
+            }
             "--stable-json" => parsed.stable_json = true,
             "--reference" => parsed.reference = true,
             "--telemetry" => parsed.telemetry = true,
@@ -207,17 +257,18 @@ fn usage() -> String {
      [--telemetry] [--telemetry-out PATH]\n\
      \u{20}      snsp-experiments serve --grid <ID> [--seeds K] [--workers W] \
      [--replay-workers R] [--json PATH] [--stable-json] [--out DIR] \
-     [--telemetry] [--telemetry-out PATH]\n\
+     [--telemetry] [--telemetry-out PATH] [--trace-out PATH]\n\
      \u{20}      snsp-experiments chaos --grid <ci|racks|msg-storm> [--seeds K] [--workers W] \
      [--replay-workers R] [--fault-plan SPEC] [--json PATH] [--stable-json] [--out DIR] \
-     [--telemetry] [--telemetry-out PATH]\n\
+     [--telemetry] [--telemetry-out PATH] [--trace-out PATH]\n\
      \u{20}      snsp-experiments perf --grid <ci|large-n> [--seeds K] [--json PATH] [--out DIR] \
      [--telemetry] [--telemetry-out PATH]\n\
      \u{20}      snsp-experiments refine --grid <ci|fig2|large-n> [--seeds K] [--workers W] \
      [--bb-workers B] [--json PATH] [--stable-json] [--out DIR] \
      [--telemetry] [--telemetry-out PATH]\n\
      \u{20}      snsp-experiments validate <PATH>\n\
-     \u{20}      snsp-experiments telemetry-summary <PATH>"
+     \u{20}      snsp-experiments telemetry-summary <PATH>\n\
+     \u{20}      snsp-experiments report diff <A> <B> [--timing-tolerance FRAC]"
         .to_string()
 }
 
@@ -256,6 +307,73 @@ fn write_telemetry(
     std::fs::write(&path, &body).map_err(|e| format!("could not write {}: {e}", path.display()))?;
     println!("[telemetry] {}", path.display());
     Ok(())
+}
+
+/// Starts the causal trace layer when `--trace-out` was passed. The wall
+/// overlay follows the telemetry discipline: stamped unless
+/// `--stable-json` asked for the deterministic-only form.
+fn trace_begin(args: &Args) {
+    if args.trace_out.is_some() {
+        snsp_telemetry::trace::start(snsp_telemetry::trace::DEFAULT_CAPACITY, !args.stable_json);
+    }
+}
+
+/// The Chrome-timeline sibling of a `TRACE.json` path:
+/// `results/TRACE.json` → `results/TRACE.chrome.json`.
+fn trace_sibling(path: &std::path::Path, tag: &str) -> PathBuf {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("TRACE");
+    path.with_file_name(format!("{stem}.{tag}.json"))
+}
+
+/// Stops the trace layer and writes both timeline artifacts: the
+/// deterministic `TRACE.json` (schema v7, validated before writing) and
+/// the Chrome `trace_event` sibling at `<stem>.chrome.json`.
+fn write_trace(args: &Args, campaign: &str) -> Result<(), String> {
+    let Some(path) = &args.trace_out else {
+        return Ok(());
+    };
+    let snap = snsp_telemetry::trace::stop();
+    let doc = snsp_sweep::trace_json(&snap, campaign);
+    let body = doc.render();
+    validate_trace_report(&body)
+        .map_err(|errors| format!("generated trace report failed validation: {errors:?}"))?;
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, &body).map_err(|e| format!("could not write {}: {e}", path.display()))?;
+    println!(
+        "[trace] {} ({} det events, {} dropped)",
+        path.display(),
+        doc.get("det_events")
+            .and_then(snsp_sweep::Json::as_arr)
+            .map_or(0, |events| events.len()),
+        snap.dropped
+    );
+    let chrome = trace_sibling(path, "chrome");
+    std::fs::write(&chrome, snsp_sweep::chrome_trace_json(&snap).render())
+        .map_err(|e| format!("could not write {}: {e}", chrome.display()))?;
+    println!("[trace] {} (chrome trace_event timeline)", chrome.display());
+    Ok(())
+}
+
+/// The `report diff` subcommand: structurally compares two same-kind
+/// report artifacts and prints the regression table. Returns whether the
+/// diff was clean of regressions.
+fn run_report_diff(args: &Args) -> Result<bool, String> {
+    let (a, b) = args
+        .diff_paths
+        .as_ref()
+        .expect("diff_paths set by the report parser");
+    let body_a =
+        std::fs::read_to_string(a).map_err(|e| format!("could not read {}: {e}", a.display()))?;
+    let body_b =
+        std::fs::read_to_string(b).map_err(|e| format!("could not read {}: {e}", b.display()))?;
+    let opts = DiffOptions {
+        timing_tolerance: args.timing_tolerance,
+    };
+    let report = diff_reports(&body_a, &body_b, opts).map_err(|errors| errors.join("\n"))?;
+    print!("{}", report.render_table());
+    Ok(report.clean())
 }
 
 /// The `telemetry-summary` subcommand: validates a `TELEMETRY.json` and
@@ -381,7 +499,9 @@ fn run_serve(args: &Args) -> Result<(), String> {
         campaign = campaign.with_shards(shards, r);
     }
 
+    trace_begin(args);
     let (report, telem) = run_captured(args.telemetry, || run_serve_campaign(&campaign));
+    write_trace(args, &format!("serve {grid_id}"))?;
     let tables = experiments::serve_tables(&report, &format!("serve campaign {grid_id}"));
     write_tables(&format!("serve_{grid_id}"), &tables, &args.out_dir);
 
@@ -433,7 +553,15 @@ fn run_chaos(args: &Args) -> Result<(), String> {
         }
     }
 
+    // The flight recorder dumps next to the trace artifact; without
+    // --trace-out the dump falls back to stderr.
+    if let Some(path) = &args.trace_out {
+        snsp_telemetry::trace::set_flight_path(Some(trace_sibling(path, "flight")));
+    }
+    trace_begin(args);
     let (report, telem) = run_captured(args.telemetry, || run_chaos_campaign(&campaign));
+    write_trace(args, &format!("chaos {grid_id}"))?;
+    snsp_telemetry::trace::set_flight_path(None);
     let tables = experiments::chaos_tables(&report, &format!("chaos campaign {grid_id}"));
     write_tables(&format!("chaos_{grid_id}"), &tables, &args.out_dir);
 
@@ -511,9 +639,10 @@ fn run_validate(path: &PathBuf) -> Result<(), String> {
     // Sniff the document kind: serve reports carry `"kind": "serve"`,
     // perf reports `"kind": "perf"`, refine reports `"kind": "refine"`,
     // telemetry reports `"kind": "telemetry"`, chaos reports
-    // `"kind": "chaos"`; campaign reports (v1) have no kind. An unrecognized kind falls through to the v1
-    // validator, which rejects it with the mismatching fields named —
-    // cross-kind files never validate silently.
+    // `"kind": "chaos"`, trace timelines `"kind": "trace"`; campaign
+    // reports (v1) have no kind. An unrecognized kind falls through to
+    // the v1 validator, which rejects it with the mismatching fields
+    // named — cross-kind files never validate silently.
     let kind = snsp_sweep::json::parse(&body).ok().and_then(|doc| {
         doc.get("kind")
             .and_then(snsp_sweep::Json::as_str)
@@ -534,6 +663,7 @@ fn run_validate(path: &PathBuf) -> Result<(), String> {
             validate_telemetry_report(&body),
         ),
         Some("chaos") => ("BENCH_chaos.json (schema v6)", validate_chaos_report(&body)),
+        Some("trace") => ("TRACE.json (schema v7)", validate_trace_report(&body)),
         _ => ("BENCH_sweep.json (schema v1)", validate_report(&body)),
     };
     match outcome {
@@ -597,6 +727,20 @@ fn main() {
         }
     };
 
+    if args.trace_out.is_some() && !matches!(args.experiment.as_str(), "serve" | "chaos") {
+        eprintln!("--trace-out is only supported by the serve and chaos subcommands");
+        std::process::exit(2);
+    }
+    if args.experiment == "report" {
+        match run_report_diff(&args) {
+            Ok(true) => return,
+            Ok(false) => std::process::exit(1),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
     if let Some(path) = &args.validate_path {
         let outcome = if args.experiment == "telemetry-summary" {
             run_summary(path)

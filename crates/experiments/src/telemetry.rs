@@ -232,7 +232,45 @@ pub fn summary_tables(doc: &Json) -> Vec<Table> {
             }
         }
     }
+    tables.push(pool_stats_table(campaign, doc.get("overlay")));
     tables
+}
+
+/// The executor-pool roll-up (the pool's `PoolStats` mirrored through
+/// its overlay metrics). Always printed — an uncontended run shows
+/// explicit zeros rather than silently missing rows, and the stable
+/// form (overlay nulled) shows `-` so the reader knows the numbers were
+/// dropped, not zero.
+fn pool_stats_table(campaign: &str, overlay: Option<&Json>) -> Table {
+    let overlay = overlay.filter(|o| !matches!(o, Json::Null));
+    let lookup = |section: &str, name: &str| -> String {
+        match overlay {
+            None => "-".to_string(),
+            Some(o) => o
+                .get(section)
+                .and_then(Json::as_arr)
+                .and_then(|entries| {
+                    entries
+                        .iter()
+                        .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                })
+                .and_then(|e| e.get("value").and_then(Json::as_int))
+                .unwrap_or(0)
+                .to_string(),
+        }
+    };
+    let mut t = Table::new(
+        format!("telemetry {campaign} — executor pool (PoolStats)"),
+        &["metric", "value"],
+    );
+    for name in ["pool.steals", "pool.donations", "pool.panics"] {
+        t.push(vec![name.to_string(), lookup("counters", name)]);
+    }
+    t.push(vec![
+        "pool.peak_queue_depth".to_string(),
+        lookup("gauges", "pool.peak_queue_depth"),
+    ]);
+    t
 }
 
 #[cfg(test)]
@@ -281,5 +319,35 @@ mod tests {
             .iter()
             .flatten()
             .any(|c| c.contains("overlay nulled"))));
+    }
+
+    #[test]
+    fn pool_stats_table_always_prints() {
+        let (_, snap) = snsp_telemetry::capture(|| {
+            T_DET.incr();
+        });
+        // No pool metrics recorded: the roll-up still prints, with zeros.
+        let doc = telemetry_json(&snap, "unit", false);
+        let tables = summary_tables(&doc);
+        let pool = tables
+            .iter()
+            .find(|t| t.title.contains("executor pool"))
+            .expect("pool table present");
+        assert!(pool
+            .rows
+            .iter()
+            .any(|r| r[0] == "pool.steals" && r[1] == "0"));
+        assert!(pool
+            .rows
+            .iter()
+            .any(|r| r[0] == "pool.panics" && r[1] == "0"));
+        // Stable form nulls the overlay: the numbers become `-`.
+        let stable = telemetry_json(&snap, "unit", true);
+        let tables = summary_tables(&stable);
+        let pool = tables
+            .iter()
+            .find(|t| t.title.contains("executor pool"))
+            .expect("pool table present in stable form");
+        assert!(pool.rows.iter().all(|r| r[1] == "-"));
     }
 }

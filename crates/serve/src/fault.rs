@@ -61,6 +61,7 @@ use rand::{Rng, RngCore, SeedableRng};
 
 use snsp_core::ids::TenantId;
 use snsp_gen::{generate_trace, trace_environment, TenantSpec, Trace, TraceEvent, TraceParams};
+use snsp_sweep::pool::run_jobs_checked;
 use snsp_sweep::{run_jobs, Json, PhaseTiming, PIPELINE_SEED_STRIDE};
 use snsp_telemetry::{Class, Counter, Histogram};
 
@@ -483,23 +484,94 @@ impl ChaosReport {
 /// (the routing hash) and no tenant is resident on two shards. The
 /// chaos replay runs this after every injected fault.
 pub fn audit_platform(sharded: &ShardedPlatform) -> Result<(), String> {
+    audit_platform_located(sharded).map_err(|(_, e)| e)
+}
+
+/// [`audit_platform`], additionally naming the shard on which the
+/// violation was detected — the flight recorder uses it to point at the
+/// first divergent event in its dump window.
+fn audit_platform_located(sharded: &ShardedPlatform) -> Result<(), (Option<usize>, String)> {
     let mut seen: BTreeSet<u32> = BTreeSet::new();
     for s in 0..sharded.shard_count() {
         let shard = sharded.shard(s);
-        shard.audit().map_err(|e| format!("shard {s}: {e}"))?;
+        shard
+            .audit()
+            .map_err(|e| (Some(s), format!("shard {s}: {e}")))?;
         for id in shard.tenant_ids() {
             let home = sharded.route(id);
             if home != s {
-                return Err(format!(
-                    "tenant {id} resident on shard {s} but routes to {home}"
+                return Err((
+                    Some(s),
+                    format!("tenant {id} resident on shard {s} but routes to {home}"),
                 ));
             }
             if !seen.insert(id.0) {
-                return Err(format!("tenant {id} resident on multiple shards"));
+                return Err((Some(s), format!("tenant {id} resident on multiple shards")));
             }
         }
     }
     Ok(())
+}
+
+/// Ticks of trace-event history the chaos flight recorder keeps in its
+/// dump window. The per-thread rings retain far more; the window bounds
+/// the crash-dump artifact to the recent past that plausibly explains
+/// the failure.
+pub const FLIGHT_WINDOW_TICKS: u64 = 8;
+
+/// Renders a flight-recorder crash dump: the failure `reason`/`detail`,
+/// the tick it surfaced at, the retained event window, and the **first
+/// divergent event** — the earliest Det-class event on the suspect
+/// shard inside the window (the window head when no shard is
+/// attributable, `null` when the window is empty).
+pub fn flight_dump_json(
+    snap: &snsp_telemetry::trace::TraceSnapshot,
+    reason: &str,
+    detail: &str,
+    suspect_shard: Option<usize>,
+    tick: u64,
+) -> Json {
+    let window = snap.tail_window(FLIGHT_WINDOW_TICKS);
+    let event_json = |ev: &snsp_telemetry::trace::TraceEvent| {
+        let (label, det) = ev.kind.describe();
+        Json::obj(vec![
+            ("run", Json::Int(ev.run as i64)),
+            ("tick", Json::Int(ev.time.tick as i64)),
+            ("shard", Json::Int(ev.time.shard as i64)),
+            ("seq", Json::Int(ev.time.seq as i64)),
+            ("event", Json::Str(label.to_string())),
+            ("detail", Json::Str(det)),
+            (
+                "class",
+                Json::Str(
+                    match ev.class {
+                        Class::Det => "det",
+                        Class::Overlay => "overlay",
+                    }
+                    .to_string(),
+                ),
+            ),
+        ])
+    };
+    let first_divergent = window
+        .iter()
+        .find(|ev| {
+            ev.class == Class::Det && suspect_shard.is_none_or(|s| ev.time.shard as usize == s)
+        })
+        .or(window.first());
+    Json::obj(vec![
+        ("kind", Json::Str("flight".to_string())),
+        ("reason", Json::Str(reason.to_string())),
+        ("detail", Json::Str(detail.to_string())),
+        ("tick", Json::Int(tick as i64)),
+        ("window_ticks", Json::Int(FLIGHT_WINDOW_TICKS as i64)),
+        ("dropped", Json::Int(snap.dropped as i64)),
+        (
+            "first_divergent",
+            first_divergent.map_or(Json::Null, event_json),
+        ),
+        ("window", Json::Arr(window.iter().map(event_json).collect())),
+    ])
 }
 
 /// One pending re-admission.
@@ -547,6 +619,15 @@ impl<'a> ChaosEngine<'a> {
             return;
         }
         self.tick += 1;
+        let tick_events: u64 = self.batches.iter().map(|b| b.events.len() as u64).sum();
+        snsp_telemetry::trace::record(
+            Class::Det,
+            self.trace.seed,
+            snsp_telemetry::trace::LogicalTime::tick_start(self.tick),
+            snsp_telemetry::trace::TraceEventKind::TickStart {
+                events: tick_events,
+            },
+        );
         // Checkpoints: the victims' state at the last barrier is exactly
         // their current state (batches are in flight, not committed).
         let ckpts: Vec<(usize, LivePlatform, usize)> = crash_victims
@@ -554,28 +635,53 @@ impl<'a> ChaosEngine<'a> {
             .map(|&s| (s, self.sharded.shard(s).clone(), self.admitted[s]))
             .collect();
         let n_shards = self.n_shards();
-        let cells: Vec<Mutex<(&mut LivePlatform, &ShardBatch, &mut usize)>> = self
-            .sharded
-            .shards_mut()
-            .iter_mut()
-            .zip(self.batches.iter())
-            .zip(self.admitted.iter_mut())
-            .map(|((live, batch), count)| Mutex::new((live, batch, count)))
-            .collect();
         let trace_seed = self.trace.seed;
         let config = self.config;
-        let mut outcomes: Vec<(Vec<ShardMsg>, Vec<f64>)> =
-            run_jobs(n_shards, self.opts.workers, |s| {
+        let tick = self.tick;
+        let (raw, pool) = {
+            let cells: Vec<Mutex<(&mut LivePlatform, &ShardBatch, &mut usize)>> = self
+                .sharded
+                .shards_mut()
+                .iter_mut()
+                .zip(self.batches.iter())
+                .zip(self.admitted.iter_mut())
+                .map(|((live, batch), count)| Mutex::new((live, batch, count)))
+                .collect();
+            run_jobs_checked(n_shards, self.opts.workers, |s| {
                 let mut cell = cells[s].lock().unwrap();
                 let (live, batch, count) = &mut *cell;
-                replay_batch(s, live, batch, trace_seed, config, count)
-            });
+                replay_batch(s, live, batch, trace_seed, config, count, tick)
+            })
+        };
+        if pool.panics > 0 {
+            // A worker died mid-tick: dump the flight recorder first so
+            // the crash scene survives, then re-raise with `run_jobs`'s
+            // own message (chaos stays a strict extension of the plain
+            // sharded tier's contract).
+            self.flight_dump(
+                "pool-panic",
+                "worker panicked replaying a shard batch",
+                None,
+            );
+            panic!("{} pool job(s) panicked", pool.panics);
+        }
+        let mut outcomes: Vec<(Vec<ShardMsg>, Vec<f64>)> = raw.into_iter().flatten().collect();
         // Crash + recover: the victim's in-flight results are lost with
         // the worker; restore the checkpoint and re-replay the batch.
         // Replay is deterministic, so the recovered messages are
         // byte-identical to the discarded ones — a recovered crash is
         // unobservable in the log, the accounting and the fingerprint.
+        // (The trace layer sees the re-replayed events twice; the Det
+        // stream collapses the exact duplicates, keeping only the
+        // `crash`/`restore` markers recorded here.)
         for (s, ckpt, adm) in ckpts {
+            crate::shard::trace_det(
+                trace_seed,
+                tick,
+                s,
+                0,
+                snsp_telemetry::trace::TraceEventKind::Crash { shard: s as u64 },
+            );
             *self.sharded.shard_mut(s) = ckpt;
             self.admitted[s] = adm;
             let replayed = self.batches[s].events.len();
@@ -586,6 +692,17 @@ impl<'a> ChaosEngine<'a> {
                 trace_seed,
                 config,
                 &mut self.admitted[s],
+                tick,
+            );
+            crate::shard::trace_det(
+                trace_seed,
+                tick,
+                s,
+                0,
+                snsp_telemetry::trace::TraceEventKind::Restore {
+                    shard: s as u64,
+                    replayed: replayed as u64,
+                },
             );
             self.stats.crashes += 1;
             self.stats.recoveries += 1;
@@ -608,7 +725,18 @@ impl<'a> ChaosEngine<'a> {
         });
         self.inject_and_recover_msgs(&mut msgs);
         let barrier_t = msgs.last().map(|m| m.time);
-        for msg in &msgs {
+        for (fold_ix, msg) in msgs.iter().enumerate() {
+            // The fold event's seq is the *global* fold index within the
+            // tick (the per-shard seq is already spent by `msg_send`).
+            crate::shard::trace_det(
+                trace_seed,
+                tick,
+                msg.shard,
+                fold_ix as u32,
+                snsp_telemetry::trace::TraceEventKind::MsgFold {
+                    msg: msg.kind.label(),
+                },
+            );
             match msg.kind {
                 ShardMsgKind::Rejected { tenant } => {
                     self.reject_streak += 1;
@@ -627,6 +755,12 @@ impl<'a> ChaosEngine<'a> {
         if let Some(t) = barrier_t {
             self.degrade_if_pressed(t);
         }
+        snsp_telemetry::trace::record(
+            Class::Det,
+            self.trace.seed,
+            snsp_telemetry::trace::LogicalTime::tick_end(self.tick),
+            snsp_telemetry::trace::TraceEventKind::TickEnd,
+        );
     }
 
     /// Injects transport faults into the tick's canonical message stream
@@ -779,6 +913,16 @@ impl<'a> ChaosEngine<'a> {
                 Ok(_) => {
                     self.stats.readmitted += 1;
                     RETRY_READMITTED.incr();
+                    crate::shard::trace_det(
+                        self.trace.seed,
+                        self.tick,
+                        s,
+                        e.attempts,
+                        snsp_telemetry::trace::TraceEventKind::RetryAdmit {
+                            tenant: e.tenant.0 as u64,
+                            attempt: (e.attempts + 1) as u64,
+                        },
+                    );
                     self.sync_column(t, s);
                     let line = format!(
                         "{t:.6} s{s} readmit t{} attempt={} procs={} cost={}",
@@ -818,7 +962,7 @@ impl<'a> ChaosEngine<'a> {
         if policy.pressure == 0 || self.reject_streak < policy.pressure {
             return;
         }
-        for _ in 0..policy.max_shed {
+        for shed_ix in 0..policy.max_shed {
             let mut victim: Option<(f64, u32, usize)> = None;
             for s in 0..self.n_shards() {
                 let shard = self.sharded.shard(s);
@@ -837,6 +981,13 @@ impl<'a> ChaosEngine<'a> {
                 break;
             };
             let tenant = TenantId(id);
+            crate::shard::trace_det(
+                self.trace.seed,
+                self.tick,
+                s,
+                shed_ix as u32,
+                snsp_telemetry::trace::TraceEventKind::Shed { tenant: id as u64 },
+            );
             self.sharded.shard_mut(s).shed(tenant);
             self.stats.shed += 1;
             DEGRADE_SHED.incr();
@@ -883,7 +1034,16 @@ impl<'a> ChaosEngine<'a> {
                 evicted.join(","),
             ),
         });
-        for &tenant in &out.evicted {
+        for (i, &tenant) in out.evicted.iter().enumerate() {
+            crate::shard::trace_det(
+                self.trace.seed,
+                self.tick,
+                s,
+                i as u32,
+                snsp_telemetry::trace::TraceEventKind::Evict {
+                    tenant: tenant.0 as u64,
+                },
+            );
             self.coord.apply(&ShardMsg {
                 time: t,
                 shard: s,
@@ -902,14 +1062,46 @@ impl<'a> ChaosEngine<'a> {
     }
 
     /// Audits the whole tier, counting (never panicking on) violations —
-    /// the report surfaces them and the tests assert zero.
+    /// the report surfaces them and the tests assert zero. A violation
+    /// also triggers a flight-recorder dump pointing at the suspect
+    /// shard's first event in the retained window.
     fn audit_now(&mut self, t: f64) {
-        if let Err(e) = audit_platform(&self.sharded) {
+        if let Err((shard, e)) = audit_platform_located(&self.sharded) {
             self.stats.audit_failures += 1;
             AUDIT_FAILURES.incr();
             if self.stats.audit_first.is_none() {
                 self.stats.audit_first = Some(format!("{t:.6}: {e}"));
             }
+            self.flight_dump("audit-failure", &e, shard);
+        }
+    }
+
+    /// Dumps the flight-recorder window — the last
+    /// [`FLIGHT_WINDOW_TICKS`] ticks of recorded trace events — as a
+    /// crash-dump JSON artifact naming the first divergent event (the
+    /// earliest Det event on the suspect shard inside the window, or the
+    /// window head when no shard is attributable). Written to the path
+    /// configured via
+    /// [`set_flight_path`](snsp_telemetry::trace::set_flight_path), to
+    /// stderr otherwise; a no-op while tracing is inactive (nothing was
+    /// recorded, so there is nothing to dump).
+    fn flight_dump(&mut self, reason: &str, detail: &str, suspect_shard: Option<usize>) {
+        if !snsp_telemetry::trace::active() {
+            return;
+        }
+        let snap = snsp_telemetry::trace::snapshot_now();
+        let doc = flight_dump_json(&snap, reason, detail, suspect_shard, self.tick);
+        let text = doc.render();
+        match snsp_telemetry::trace::flight_path() {
+            Some(path) => {
+                if std::fs::write(&path, &text).is_ok() {
+                    self.coord
+                        .report
+                        .log
+                        .push(format!("flight-dump {reason} -> {}", path.display()));
+                }
+            }
+            None => eprintln!("flight-dump {reason}:\n{text}"),
         }
     }
 
@@ -1838,5 +2030,85 @@ mod tests {
             crash_counts.push(report.stats.crashes);
         }
         assert!(crash_counts.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// Builds a synthetic trace snapshot spanning `ticks` ticks with one
+    /// Det admit per shard per tick plus an overlay steal marker.
+    fn flight_snapshot(ticks: u64, shards: u32) -> snsp_telemetry::trace::TraceSnapshot {
+        use snsp_telemetry::trace::{LogicalTime, TraceEvent, TraceEventKind};
+        let mut events = Vec::new();
+        for tick in 1..=ticks {
+            for shard in 0..shards {
+                events.push(TraceEvent {
+                    run: 0,
+                    time: LogicalTime {
+                        tick,
+                        shard,
+                        seq: 0,
+                    },
+                    class: Class::Det,
+                    kind: TraceEventKind::Admit {
+                        tenant: u64::from(shard),
+                        new_procs: 1,
+                        reused_procs: 0,
+                    },
+                    wall_us: 0.0,
+                });
+            }
+            events.push(TraceEvent {
+                run: 0,
+                time: LogicalTime {
+                    tick,
+                    shard: 0,
+                    seq: 1,
+                },
+                class: Class::Overlay,
+                kind: TraceEventKind::Steal { worker: 1 },
+                wall_us: 0.0,
+            });
+        }
+        snsp_telemetry::trace::TraceSnapshot { events, dropped: 0 }
+    }
+
+    #[test]
+    fn flight_dump_retains_the_window_and_names_the_first_divergent_event() {
+        // 12 ticks recorded, window of FLIGHT_WINDOW_TICKS: ticks 5..=12
+        // survive, and the first divergent event is the earliest Det
+        // event on the suspect shard inside the window.
+        let snap = flight_snapshot(12, 2);
+        let doc = flight_dump_json(&snap, "audit-failure", "s1: oversubscribed", Some(1), 12);
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("flight"));
+        assert_eq!(
+            doc.get("reason").and_then(Json::as_str),
+            Some("audit-failure")
+        );
+        let window = doc.get("window").and_then(Json::as_arr).expect("window");
+        let ticks: Vec<i64> = window
+            .iter()
+            .filter_map(|e| e.get("tick").and_then(Json::as_int))
+            .collect();
+        assert_eq!(ticks.iter().min(), Some(&5), "oldest retained tick");
+        assert_eq!(ticks.iter().max(), Some(&12));
+        let first = doc.get("first_divergent").expect("divergent event");
+        assert_eq!(first.get("tick").and_then(Json::as_int), Some(5));
+        assert_eq!(first.get("shard").and_then(Json::as_int), Some(1));
+        assert_eq!(first.get("event").and_then(Json::as_str), Some("admit"));
+        assert_eq!(first.get("class").and_then(Json::as_str), Some("det"));
+    }
+
+    #[test]
+    fn flight_dump_without_a_suspect_falls_back_to_the_window_head() {
+        let snap = flight_snapshot(3, 2);
+        let doc = flight_dump_json(&snap, "pool-panic", "worker panicked", None, 3);
+        let first = doc.get("first_divergent").expect("head event");
+        assert_eq!(first.get("tick").and_then(Json::as_int), Some(1));
+        assert_eq!(first.get("shard").and_then(Json::as_int), Some(0));
+        // An empty window degrades to null, not a panic.
+        let empty = snsp_telemetry::trace::TraceSnapshot {
+            events: Vec::new(),
+            dropped: 0,
+        };
+        let doc = flight_dump_json(&empty, "audit-failure", "x", Some(0), 0);
+        assert!(matches!(doc.get("first_divergent"), Some(Json::Null)));
     }
 }

@@ -170,6 +170,43 @@ pub enum ShardMsgKind {
     },
 }
 
+impl ShardMsgKind {
+    /// Static kind label, used by the trace layer's `msg_send`/`msg_fold`
+    /// events.
+    pub(crate) fn label(&self) -> &'static str {
+        match self {
+            ShardMsgKind::Admitted { .. } => "admitted",
+            ShardMsgKind::Rejected { .. } => "rejected",
+            ShardMsgKind::Departed => "departed",
+            ShardMsgKind::Evicted { .. } => "evicted",
+            ShardMsgKind::Failed { .. } => "failed",
+            ShardMsgKind::SloChecked { .. } => "slo_checked",
+        }
+    }
+}
+
+/// Records one Det-class trace event for this replay, stamped with the
+/// run discriminator (the trace seed) and the logical time
+/// `(tick, shard, seq)` (no-op while tracing is inactive).
+pub(crate) fn trace_det(
+    run: u64,
+    tick: u64,
+    shard: usize,
+    seq: u32,
+    kind: snsp_telemetry::trace::TraceEventKind,
+) {
+    snsp_telemetry::trace::record(
+        Class::Det,
+        run,
+        snsp_telemetry::trace::LogicalTime {
+            tick,
+            shard: shard as u32,
+            seq,
+        },
+        kind,
+    );
+}
+
 /// One message from a shard to the coordinator: the event kind plus the
 /// shard's accounting snapshot *after* the event, stamped for
 /// deterministic folding.
@@ -440,25 +477,34 @@ pub(crate) fn replay_batch(
     trace_seed: u64,
     config: &ServeConfig,
     admitted_so_far: &mut usize,
+    tick: u64,
 ) -> (Vec<ShardMsg>, Vec<f64>) {
     let mut msgs = Vec::new();
     let mut latencies = Vec::new();
     let mut seq = 0u32;
-    let mut push = |live: &LivePlatform, time: f64, seq: &mut u32, kind, line: String| {
-        let (used, speed) = live.cpu_load();
-        msgs.push(ShardMsg {
-            time,
-            shard: shard_ix,
-            seq: *seq,
-            kind,
-            cost: live.cost(),
-            procs: live.proc_count(),
-            used,
-            speed,
-            line,
-        });
-        *seq += 1;
-    };
+    let mut push =
+        |live: &LivePlatform, time: f64, seq: &mut u32, kind: ShardMsgKind, line: String| {
+            trace_det(
+                trace_seed,
+                tick,
+                shard_ix,
+                *seq,
+                snsp_telemetry::trace::TraceEventKind::MsgSend { msg: kind.label() },
+            );
+            let (used, speed) = live.cpu_load();
+            msgs.push(ShardMsg {
+                time,
+                shard: shard_ix,
+                seq: *seq,
+                kind,
+                cost: live.cost(),
+                procs: live.proc_count(),
+                used,
+                speed,
+                line,
+            });
+            *seq += 1;
+        };
     for ev in &batch.events {
         let t = ev.time;
         match ev.event {
@@ -485,6 +531,17 @@ pub(crate) fn replay_batch(
                             out.reused_procs,
                             live.proc_count(),
                             live.cost()
+                        );
+                        trace_det(
+                            trace_seed,
+                            tick,
+                            shard_ix,
+                            seq,
+                            snsp_telemetry::trace::TraceEventKind::Admit {
+                                tenant: tenant.0 as u64,
+                                new_procs: out.new_procs as u64,
+                                reused_procs: out.reused_procs as u64,
+                            },
                         );
                         push(
                             live,
@@ -514,6 +571,15 @@ pub(crate) fn replay_batch(
                     Err(e) => {
                         let line =
                             format!("{t:.6} s{shard_ix} reject t{tenant} n={} ({e})", spec.n_ops);
+                        trace_det(
+                            trace_seed,
+                            tick,
+                            shard_ix,
+                            seq,
+                            snsp_telemetry::trace::TraceEventKind::Reject {
+                                tenant: tenant.0 as u64,
+                            },
+                        );
                         push(live, t, &mut seq, ShardMsgKind::Rejected { tenant }, line);
                     }
                 }
@@ -525,6 +591,15 @@ pub(crate) fn replay_batch(
                         "{t:.6} s{shard_ix} depart t{tenant} procs={} cost={}",
                         live.proc_count(),
                         live.cost()
+                    );
+                    trace_det(
+                        trace_seed,
+                        tick,
+                        shard_ix,
+                        seq,
+                        snsp_telemetry::trace::TraceEventKind::Depart {
+                            tenant: tenant.0 as u64,
+                        },
                     );
                     push(live, t, &mut seq, ShardMsgKind::Departed, line);
                 }
@@ -565,14 +640,28 @@ pub fn replay_trace_sharded(
     let mut admitted: Vec<usize> = vec![0; n_shards];
 
     let mut batches: Vec<ShardBatch> = (0..n_shards).map(|_| ShardBatch::default()).collect();
+    // Barrier number for the trace layer's logical clock; incremented
+    // once per non-empty flush, so it is a pure function of the trace.
+    let mut tick = 0u64;
     let flush = |sharded: &mut ShardedPlatform,
                  batches: &mut Vec<ShardBatch>,
                  coord: &mut Coordinator,
                  latencies: &mut Vec<Vec<f64>>,
-                 admitted: &mut Vec<usize>| {
+                 admitted: &mut Vec<usize>,
+                 tick: &mut u64| {
         if batches.iter().all(|b| b.events.is_empty()) {
             return;
         }
+        *tick += 1;
+        let tick_events: u64 = batches.iter().map(|b| b.events.len() as u64).sum();
+        snsp_telemetry::trace::record(
+            Class::Det,
+            trace.seed,
+            snsp_telemetry::trace::LogicalTime::tick_start(*tick),
+            snsp_telemetry::trace::TraceEventKind::TickStart {
+                events: tick_events,
+            },
+        );
         for b in batches.iter().filter(|b| !b.events.is_empty()) {
             TICK_BATCH_EVENTS.record(b.events.len() as f64);
         }
@@ -586,10 +675,11 @@ pub fn replay_trace_sharded(
             .zip(admitted.iter_mut())
             .map(|((live, batch), count)| Mutex::new((live, batch, count)))
             .collect();
+        let this_tick = *tick;
         let outcomes: Vec<(Vec<ShardMsg>, Vec<f64>)> = run_jobs(n_shards, opts.workers, |s| {
             let mut cell = cells[s].lock().unwrap();
             let (live, batch, count) = &mut *cell;
-            replay_batch(s, live, batch, trace.seed, config, count)
+            replay_batch(s, live, batch, trace.seed, config, count, this_tick)
         });
         // Barrier: fold the tick's messages in (time, shard, seq) order —
         // a pure function of the trace, independent of scheduling.
@@ -605,12 +695,29 @@ pub fn replay_trace_sharded(
                 .then(a.shard.cmp(&b.shard))
                 .then(a.seq.cmp(&b.seq))
         });
-        for msg in &msgs {
+        for (fold_ix, msg) in msgs.iter().enumerate() {
+            // The fold event's seq is the *global* fold index within the
+            // tick (the per-shard seq is already spent by `msg_send`).
+            trace_det(
+                trace.seed,
+                *tick,
+                msg.shard,
+                fold_ix as u32,
+                snsp_telemetry::trace::TraceEventKind::MsgFold {
+                    msg: msg.kind.label(),
+                },
+            );
             coord.apply(msg);
         }
         for b in batches.iter_mut() {
             b.events.clear();
         }
+        snsp_telemetry::trace::record(
+            Class::Det,
+            trace.seed,
+            snsp_telemetry::trace::LogicalTime::tick_end(*tick),
+            snsp_telemetry::trace::TraceEventKind::TickEnd,
+        );
     };
 
     for ev in &trace.events {
@@ -627,6 +734,7 @@ pub fn replay_trace_sharded(
                     &mut coord,
                     &mut latencies,
                     &mut admitted,
+                    &mut tick,
                 );
                 if let Some((s, out)) = sharded.fail(lottery) {
                     let t = ev.time;
@@ -655,7 +763,16 @@ pub fn replay_trace_sharded(
                             shard.cost()
                         ),
                     });
-                    for &tenant in &out.evicted {
+                    for (i, &tenant) in out.evicted.iter().enumerate() {
+                        trace_det(
+                            trace.seed,
+                            tick,
+                            s,
+                            i as u32,
+                            snsp_telemetry::trace::TraceEventKind::Evict {
+                                tenant: tenant.0 as u64,
+                            },
+                        );
                         coord.apply(&ShardMsg {
                             time: t,
                             shard: s,
@@ -678,6 +795,7 @@ pub fn replay_trace_sharded(
         &mut coord,
         &mut latencies,
         &mut admitted,
+        &mut tick,
     );
 
     let horizon = trace.params.horizon;

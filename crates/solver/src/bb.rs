@@ -92,6 +92,24 @@ static BB_INCUMBENTS: Counter = Counter::new("bb.incumbent.updates", Class::Over
 static BB_INCUMBENT_COST: Histogram = Histogram::new("bb.incumbent.cost", Class::Overlay);
 static BB_SUBTREE_NODES: Histogram = Histogram::new("bb.task.subtree_nodes", Class::Overlay);
 
+/// Records an overlay-class search trace event (subtree splits,
+/// incumbent publications). Logical time carries no tick — the search
+/// has no barrier clock — so the lane is the node count at emission,
+/// which orders events within one serial worker and merely groups them
+/// for parallel runs (overlay events never enter the Det stream).
+fn record_search_event(kind: snsp_telemetry::trace::TraceEventKind) {
+    snsp_telemetry::trace::record(
+        Class::Overlay,
+        0,
+        snsp_telemetry::trace::LogicalTime {
+            tick: 0,
+            shard: 0,
+            seq: BB_NODES.get() as u32,
+        },
+        kind,
+    );
+}
+
 /// Configuration for the exact search.
 #[derive(Debug, Clone, Copy)]
 pub struct BranchBoundConfig {
@@ -442,6 +460,9 @@ impl<'a> Search<'a> {
             self.best = Some(mapping);
             BB_INCUMBENTS.incr();
             BB_INCUMBENT_COST.record(cost as f64);
+            record_search_event(snsp_telemetry::trace::TraceEventKind::Incumbent {
+                cost_bits: (cost as f64).to_bits(),
+            });
         } else {
             BB_PRUNE_CONSTRAINTS.incr();
         }
@@ -675,6 +696,9 @@ mod parallel {
                 {
                     let mut donated = self.path.clone();
                     donated.push(g as u32);
+                    record_search_event(snsp_telemetry::trace::TraceEventKind::Split {
+                        depth: depth as u64,
+                    });
                     self.shared.deque.push(donated);
                     continue;
                 }

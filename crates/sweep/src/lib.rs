@@ -42,9 +42,11 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod diff;
 pub mod json;
 pub mod schema;
 pub mod sink;
+pub mod tracefile;
 
 /// The work-stealing executors (re-exported from [`snsp_core::pool`],
 /// where they moved so that `snsp-solver` — a dependency of this crate —
@@ -52,14 +54,16 @@ pub mod sink;
 pub use snsp_core::pool;
 
 pub use campaign::{run_campaign, Campaign, PointSpec, ReferenceConfig, PIPELINE_SEED_STRIDE};
+pub use diff::{diff_reports, DiffEntry, DiffKind, DiffOptions, DiffReport};
 pub use json::Json;
 pub use pool::run_jobs;
 pub use schema::{
     validate_chaos_report, validate_perf_report, validate_refine_report, validate_report,
-    validate_serve_report, validate_telemetry_report, CHAOS_SCHEMA_VERSION, PERF_SCHEMA_VERSION,
-    REFINE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION_MIN,
-    TELEMETRY_SCHEMA_VERSION,
+    validate_serve_report, validate_telemetry_report, validate_trace_report, CHAOS_SCHEMA_VERSION,
+    PERF_SCHEMA_VERSION, REFINE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION, SERVE_SCHEMA_VERSION_MIN,
+    TELEMETRY_SCHEMA_VERSION, TRACE_SCHEMA_VERSION,
 };
 pub use sink::{
     CampaignReport, HeurStats, PhaseTiming, PointReport, ReferenceStats, SCHEMA_VERSION,
 };
+pub use tracefile::{chrome_trace_json, trace_json};

@@ -47,6 +47,14 @@ pub const TELEMETRY_SCHEMA_VERSION: i64 = 5;
 /// the crash-recovery fingerprint verdict and the invariant-audit count.
 pub const CHAOS_SCHEMA_VERSION: i64 = 6;
 
+/// The schema version stamped into (and required of) every trace report
+/// (`TRACE.json`, `kind: "trace"`): the deterministic causal event
+/// stream of a replay — Det-class events only, stamped with logical
+/// time `(run, tick, shard, seq)` — so the file is byte-identical at
+/// any worker count (the wall-clock Chrome timeline is exported
+/// separately and is never stable).
+pub const TRACE_SCHEMA_VERSION: i64 = 7;
+
 /// Checks the `kind` discriminator against the kind a validator expects,
 /// producing an error that names **both** the expected and the found
 /// kind — so a cross-kind mistake (validating a serve report with the
@@ -1412,6 +1420,100 @@ pub fn validate_chaos_report(text: &str) -> Result<(), Vec<String>> {
                 .is_some_and(|v| v >= 0.0)
             {
                 errors.push(format!("timing.{key} must be a non-negative number"));
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Validates a serialized trace report (`TRACE.json`) against schema v7
+/// (the deterministic event stream written by
+/// `snsp-experiments --trace-out`).
+///
+/// Beyond structure, the stream's ordering invariant is enforced: the
+/// `(run, tick, shard, seq)` stamps must be lexicographically
+/// non-decreasing — the canonical sort every exporter applies, and the
+/// property that makes two trace files byte-comparable.
+///
+/// Returns every violation found (empty ⇒ valid); a parse failure is a
+/// single violation.
+pub fn validate_trace_report(text: &str) -> Result<(), Vec<String>> {
+    let doc = match parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Err(vec![format!("not JSON: {e}")]),
+    };
+    let mut errors = Vec::new();
+    check_kind(&doc, Some("trace"), &mut errors);
+    let mut check = |cond: bool, msg: &str| {
+        if !cond {
+            errors.push(msg.to_string());
+        }
+    };
+
+    check(
+        doc.get("schema_version").and_then(Json::as_int) == Some(TRACE_SCHEMA_VERSION),
+        "schema_version must be the integer 7",
+    );
+    check(
+        doc.get("generator")
+            .and_then(Json::as_str)
+            .is_some_and(|s| s.starts_with("snsp-")),
+        "generator must be an snsp tool version string",
+    );
+    check(
+        doc.get("campaign")
+            .and_then(Json::as_str)
+            .is_some_and(|s| !s.is_empty()),
+        "campaign must be a non-empty string",
+    );
+    check(
+        doc.get("dropped")
+            .and_then(Json::as_int)
+            .is_some_and(|v| v >= 0),
+        "dropped must be a non-negative integer",
+    );
+
+    match doc.get("det_events").and_then(Json::as_arr) {
+        None => errors.push("det_events must be an array".to_string()),
+        Some(events) => {
+            let mut prev: Option<(i64, i64, i64, i64)> = None;
+            for (i, ev) in events.iter().enumerate() {
+                let at = format!("det_events[{i}]");
+                let mut int_of = |key: &str| -> i64 {
+                    let v = ev.get(key).and_then(Json::as_int).filter(|&v| v >= 0);
+                    if v.is_none() {
+                        errors.push(format!("{at}.{key} must be a non-negative integer"));
+                    }
+                    v.unwrap_or(0)
+                };
+                let stamp = (
+                    int_of("run"),
+                    int_of("tick"),
+                    int_of("shard"),
+                    int_of("seq"),
+                );
+                if ev
+                    .get("event")
+                    .and_then(Json::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    errors.push(format!("{at}.event must be a non-empty string"));
+                }
+                if ev.get("detail").and_then(Json::as_str).is_none() {
+                    errors.push(format!("{at}.detail must be a string (may be empty)"));
+                }
+                if prev.is_some_and(|p| stamp < p) {
+                    errors.push(format!(
+                        "{at}: (run, tick, shard, seq) must be non-decreasing \
+                         (the canonical deterministic sort)"
+                    ));
+                }
+                prev = Some(stamp);
             }
         }
     }

@@ -46,6 +46,8 @@
 
 #![warn(missing_docs)]
 
+pub mod trace;
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, Once};
 use std::time::Instant;
@@ -415,6 +417,14 @@ pub fn reset() {
 
 static SESSION: Mutex<()> = Mutex::new(());
 
+/// Takes the exclusive session lock without the reset/enable protocol —
+/// lets in-crate tests (including the [`trace`] module's) serialize
+/// against concurrent [`capture`] sessions.
+#[cfg(test)]
+pub(crate) fn test_session() -> std::sync::MutexGuard<'static, ()> {
+    SESSION.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Runs `f` as an exclusive telemetry session: takes a global session
 /// lock (so concurrent captures — e.g. parallel tests — serialize),
 /// resets all metrics, enables collection, runs `f`, disables again and
@@ -505,6 +515,57 @@ mod tests {
         assert_eq!(percentile_sorted(&sorted, 50.0), 2.0);
         assert_eq!(percentile_sorted(&sorted, 99.0), 4.0);
         assert_eq!(percentile_sorted(&[], 50.0), 0.0);
+    }
+
+    static H_EDGE: Histogram = Histogram::new("test.hist.edge", Class::Det);
+
+    #[test]
+    fn histogram_edge_cases() {
+        // Empty: a registered histogram with no samples this session
+        // snapshots as count 0 with all-zero percentiles.
+        let (_, snap) = capture(|| {
+            H_EDGE.record(1.0);
+        });
+        assert_eq!(snap.histogram("test.hist.edge").map(|h| h.count), Some(1));
+        let (_, snap) = capture(|| {});
+        let h = snap.histogram("test.hist.edge").expect("stays registered");
+        assert_eq!(
+            (h.count, h.min, h.p50, h.p90, h.p99, h.max),
+            (0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        );
+
+        // Single sample: every percentile is that sample.
+        let (_, snap) = capture(|| H_EDGE.record(42.5));
+        let h = snap.histogram("test.hist.edge").unwrap();
+        assert_eq!(
+            (h.count, h.min, h.p50, h.p90, h.p99, h.max),
+            (1, 42.5, 42.5, 42.5, 42.5, 42.5)
+        );
+
+        // Duplicate-heavy: 99 copies of one value and a single outlier
+        // put p50 and p99 on the duplicated value (nearest-rank: the
+        // 99th of 100 sorted samples), with only max seeing the outlier.
+        let (_, snap) = capture(|| {
+            for _ in 0..99 {
+                H_EDGE.record(7.0);
+            }
+            H_EDGE.record(1000.0);
+        });
+        let h = snap.histogram("test.hist.edge").unwrap();
+        assert_eq!(h.p50, 7.0);
+        assert_eq!(h.p99, 7.0);
+        assert_eq!(h.max, 1000.0);
+
+        // Negative values sort below zero and ahead of positives.
+        let (_, snap) = capture(|| {
+            for v in [-5.0, -1.0, 3.0] {
+                H_EDGE.record(v);
+            }
+        });
+        let h = snap.histogram("test.hist.edge").unwrap();
+        assert_eq!(h.min, -5.0);
+        assert_eq!(h.p50, -1.0);
+        assert_eq!(h.max, 3.0);
     }
 
     #[test]

@@ -37,7 +37,12 @@
 //!   gauges and spans wired through the pool, the exact solver, the
 //!   search drivers and the serve tier, split into a deterministic core
 //!   (worker-count-independent, safe in stable artifacts) and a
-//!   wall-clock overlay (schema-v5 `TELEMETRY.json`).
+//!   wall-clock overlay (schema-v5 `TELEMETRY.json`); plus the causal
+//!   trace layer (`telemetry::trace`) stamping typed events with
+//!   logical time — rendered by `sweep` as a deterministic schema-v7
+//!   `TRACE.json`, a Chrome `trace_event` timeline, and a chaos flight
+//!   recorder, with `sweep::diff` structurally run-diffing any two
+//!   same-kind report artifacts.
 //!
 //! ## Quickstart
 //!

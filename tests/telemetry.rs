@@ -206,3 +206,56 @@ fn solver_surfaces_pool_stats_and_bounds_without_telemetry() {
         "the coordinating thread seeds the deque, so a 4-worker solve steals"
     );
 }
+
+fn chaos_campaign(workers: usize) -> ChaosCampaign {
+    let points = vec![
+        ChaosPoint::new(
+            "quiet",
+            TraceParams::poisson(0.4, 4.0, 15.0),
+            FaultSpec::seeded(1).with_ticks(3.0),
+        ),
+        ChaosPoint::new(
+            "crashy",
+            TraceParams::poisson(0.5, 4.0, 15.0).with_failures(0.05),
+            FaultSpec::seeded(2)
+                .with_crashes(0.25)
+                .with_msg_faults(0.1, 0.05, 0.05)
+                .with_retry(RetryPolicy::standard())
+                .with_ticks(2.0),
+        ),
+    ];
+    ChaosCampaign::new("telemetry-chaos", points, 2)
+        .with_workers(workers)
+        .with_shards(2, workers)
+}
+
+/// The chaos subcommand's `--telemetry` path: a captured chaos campaign
+/// must light up the fault counters, reconcile them with the report, and
+/// keep the deterministic core (and stable BENCH_chaos bytes)
+/// worker-count-independent.
+#[test]
+fn chaos_campaign_telemetry_reconciles_and_is_worker_independent() {
+    let (base_body, snap) = capture(|| run_chaos_campaign(&chaos_campaign(1)).render_json(false));
+    let base_det = det_core(&snap);
+    let crashes = snap.counter("fault.crashes").unwrap_or(0);
+    assert!(crashes > 0, "the crashy point must inject crashes");
+    assert_eq!(
+        snap.counter("fault.recoveries"),
+        Some(crashes),
+        "every crash recovers"
+    );
+    assert!(
+        snap.counter("fault.injected").unwrap_or(0) >= crashes,
+        "the umbrella fault counter covers at least the crashes"
+    );
+    for workers in [2usize, 4] {
+        let (body, snap) =
+            capture(|| run_chaos_campaign(&chaos_campaign(workers)).render_json(false));
+        assert_eq!(base_body, body, "chaos bytes diverged at {workers} workers");
+        assert_eq!(
+            base_det,
+            det_core(&snap),
+            "chaos det core diverged at {workers} workers"
+        );
+    }
+}
